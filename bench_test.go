@@ -1,0 +1,251 @@
+// Package repro_bench exposes every experiment of EXPERIMENTS.md as a
+// benchmark target (one per paper table/figure, quick parameters) plus
+// micro-benchmarks of the substrates. Regenerate the full-size artifacts
+// with cmd/experiments; run these with:
+//
+//	go test -bench=. -benchmem
+package repro_bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/robotapi"
+	"repro/internal/routing"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/selfmaint"
+)
+
+func quick() scenario.RepairParams {
+	p := scenario.QuickRepairParams()
+	p.Seeds = []uint64{7}
+	p.Duration = 45 * sim.Day
+	return p
+}
+
+// BenchmarkServiceWindow regenerates T1/F1: service windows by automation
+// level.
+func BenchmarkServiceWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenario.T1ServiceWindow(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEscalationLadder regenerates T2: ladder outcome shares.
+func BenchmarkEscalationLadder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T2Escalation(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAutomationLevels regenerates F2: availability vs level.
+func BenchmarkAutomationLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenario.F2Availability(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCascadeMitigation regenerates F3: cascade amplification by
+// repair policy (the impact-aware pre-drain ablation).
+func BenchmarkCascadeMitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenario.F3Cascades(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProactive regenerates T3: proactive/predictive policy ablation.
+func BenchmarkProactive(b *testing.B) {
+	p := quick()
+	p.Duration = 90 * sim.Day
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T3Proactive(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictor regenerates T4: failure-predictor quality.
+func BenchmarkPredictor(b *testing.B) {
+	p := quick()
+	p.Duration = 120 * sim.Day
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T4Predictor(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRightProvisioning regenerates T5: redundancy vs repair regime.
+func BenchmarkRightProvisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T5RightProvisioning(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintainabilityIndex regenerates F4: the topology tradeoff.
+func BenchmarkMaintainabilityIndex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenario.F4Maintainability(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetSizing regenerates F5: window/backlog vs robot count.
+func BenchmarkFleetSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenario.F5FleetSizing(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRobotPrimitives regenerates T6: robot task micro-timings.
+func BenchmarkRobotPrimitives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T6RobotTimings(40, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlapTailLatency regenerates F6: tail latency during a flapping
+// incident.
+func BenchmarkFlapTailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.F6FlapLatency(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAICluster regenerates T7: GPU-hours lost vs repair regime.
+func BenchmarkAICluster(b *testing.B) {
+	p := quick()
+	p.Duration = 90 * sim.Day
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T7AICluster(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiversity regenerates T8: task success vs hardware diversity.
+func BenchmarkDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.T8Diversity(80, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepeatWindowAblation regenerates A1: dedup-window sensitivity.
+func BenchmarkRepeatWindowAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.A1RepeatWindow(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMobilityScopeAblation regenerates A2: rack/row/hall scopes.
+func BenchmarkMobilityScopeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.A2MobilityScope(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkSimulatedDay measures raw simulation throughput: one virtual day
+// of a busy L3 hall per iteration.
+func BenchmarkSimulatedDay(b *testing.B) {
+	c, err := selfmaint.NewCluster(
+		selfmaint.WithSeed(1),
+		selfmaint.WithLevel(selfmaint.L3),
+		selfmaint.WithRobots(),
+		selfmaint.WithTechnicians(2),
+		selfmaint.WithFaultAcceleration(50),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Run(selfmaint.Day)
+	}
+}
+
+// BenchmarkRoutingEvaluate measures one full traffic-matrix evaluation on
+// the standard hall.
+func BenchmarkRoutingEvaluate(b *testing.B) {
+	net, err := scenario.StandardHall()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := routing.NewRouter(net, nil)
+	tm := routing.UniformMatrix(net, 1000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Invalidate() // force cold caches: the worst case after a failure
+		_ = r.Evaluate(tm)
+	}
+}
+
+// BenchmarkTopologyBuild measures fabric construction.
+func BenchmarkTopologyBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.NewFatTree(topology.DefaultFatTree(8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireProtocol regenerates F7: robot-API round trips over TCP
+// loopback (plan requests, which carry the contacted-cable report).
+func BenchmarkWireProtocol(b *testing.B) {
+	w, err := scenario.Build(scenario.Options{
+		Seed: 1, BuildNet: scenario.SmallHall,
+		Robots: true, NoController: true, FaultScale: 0.001,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := robotapi.NewService(w.Eng, w.Net, w.Inj, w.Fleet)
+	srv, err := robotapi.Serve("127.0.0.1:0", svc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+	c, err := robotapi.DialClient(ctx, srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	link := int(w.Net.SwitchLinks()[0].ID)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Plan(ctx, robotapi.TaskSpec{Link: link, End: "A", Action: "reseat"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

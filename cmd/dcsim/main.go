@@ -1,0 +1,77 @@
+// dcsim runs a self-maintaining datacenter simulation from the command
+// line and prints the maintenance report: the fastest way to see the
+// framework end to end.
+//
+// Usage:
+//
+//	dcsim -topology leafspine -level 3 -days 365 -accel 20 -robots -techs 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/selfmaint"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topology", "leafspine", "topology: leafspine, fattree, jellyfish, xpander, aicluster")
+		level  = flag.Int("level", 3, "automation level 0-4 (SAE-style, paper §2.1)")
+		days   = flag.Int("days", 365, "virtual days to simulate")
+		seed   = flag.Uint64("seed", 1, "random seed (runs are reproducible per seed)")
+		accel  = flag.Float64("accel", 20, "fault acceleration factor")
+		robots = flag.Bool("robots", true, "deploy one robot unit per row")
+		techs  = flag.Int("techs", 2, "human technicians on staff")
+		log    = flag.Bool("log", false, "print the full ticket log")
+	)
+	flag.Parse()
+
+	builders := map[string]func() (*selfmaint.Network, error){
+		"leafspine": selfmaint.LeafSpine(16, 4, 4),
+		"fattree":   selfmaint.FatTree(4),
+		"jellyfish": selfmaint.Jellyfish(20, 8, 4, *seed),
+		"xpander":   selfmaint.Xpander(9, 2, 4, *seed),
+		"aicluster": selfmaint.AICluster(64, 8),
+	}
+	build, ok := builders[*topo]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dcsim: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	if *level < 0 || *level > 4 {
+		fmt.Fprintln(os.Stderr, "dcsim: level must be 0-4")
+		os.Exit(2)
+	}
+
+	opts := []selfmaint.Option{
+		selfmaint.WithTopology(build),
+		selfmaint.WithSeed(*seed),
+		selfmaint.WithLevel(selfmaint.Level(*level)),
+		selfmaint.WithTechnicians(*techs),
+		selfmaint.WithFaultAcceleration(*accel),
+	}
+	if *robots {
+		opts = append(opts, selfmaint.WithRobots())
+	}
+	c, err := selfmaint.NewCluster(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err)
+		os.Exit(1)
+	}
+
+	st := c.Network().Stats()
+	fmt.Printf("simulating %s: %d devices, %d links (%d fabric), L%d, %d days at x%g aging, seed %d\n",
+		*topo, st.Devices, st.Links, st.FabricLinks, *level, *days, *accel, *seed)
+
+	c.Run(selfmaint.Time(*days) * selfmaint.Day)
+
+	fmt.Print(c.Report())
+	if *log {
+		fmt.Println("\nticket log:")
+		for _, line := range c.TicketLog() {
+			fmt.Println(" ", line)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// robotd is the robot-fleet agent daemon: it owns a (simulated) hall of
+// hardware and a fleet of maintenance robots, and serves the paper's robot
+// control API (§2) over TCP — capability discovery, manipulation planning
+// with contacted-cable pre-reports, task execution, health, and fault
+// injection for demos.
+//
+// Pair it with maintctl:
+//
+//	robotd -listen 127.0.0.1:7700 &
+//	maintctl -addr 127.0.0.1:7700 caps
+//	maintctl -addr 127.0.0.1:7700 inject 3 contamination
+//	maintctl -addr 127.0.0.1:7700 plan 3 A clean
+//	maintctl -addr 127.0.0.1:7700 execute 3 A clean
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/robotapi"
+	"repro/internal/scenario"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7700", "TCP listen address")
+		seed   = flag.Uint64("seed", 1, "world seed")
+		leaves = flag.Int("leaves", 8, "leaf switches in the hall")
+		spines = flag.Int("spines", 2, "spine switches")
+	)
+	flag.Parse()
+
+	w, err := scenario.Build(scenario.Options{
+		Seed: *seed,
+		BuildNet: func() (*topology.Network, error) {
+			return topology.NewLeafSpine(topology.LeafSpineConfig{
+				Leaves: *leaves, Spines: *spines, HostsPerLeaf: 4,
+				Uplinks: 1, FabricGbps: 400, HostGbps: 100,
+			})
+		},
+		Level:        core.L3,
+		Robots:       true,
+		NoController: true,  // the remote caller is the controller
+		FaultScale:   0.001, // near-quiescent; demo faults come via inject
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robotd:", err)
+		os.Exit(1)
+	}
+	svc := robotapi.NewService(w.Eng, w.Net, w.Inj, w.Fleet)
+	srv, err := robotapi.Serve(*listen, svc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robotd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("robotd: serving robot API on %s (%d links, %d units)\n",
+		srv.Addr(), len(w.Net.Links), len(w.Fleet.Units()))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("robotd: shutting down")
+	srv.Close()
+}

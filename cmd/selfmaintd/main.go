@@ -1,0 +1,163 @@
+// selfmaintd is the self-maintenance controller daemon: it runs a full
+// self-maintaining hall (telemetry → diagnosis → tickets → robots/humans)
+// in accelerated virtual time, pacing the simulation against the wall
+// clock, and serves an HTTP status API for observation:
+//
+//	GET /status   — run summary (JSON)
+//	GET /tickets  — ticket list (JSON)
+//	GET /health   — observable link health (JSON)
+//	GET /log      — recent controller decisions (JSON)
+//
+// Usage:
+//
+//	selfmaintd -listen 127.0.0.1:7800 -pace 3600 &
+//	curl -s 127.0.0.1:7800/status | head
+//
+// pace is virtual seconds advanced per wall-clock second.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/selfmaint"
+)
+
+// server paces the simulation and serves snapshots. A single mutex guards
+// the world: the engine is single-threaded by design.
+type server struct {
+	mu sync.Mutex
+	c  *selfmaint.Cluster
+}
+
+func (s *server) step(d sim.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.c.Run(d)
+}
+
+func (s *server) status(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rep := s.c.Report()
+	now := s.c.Now()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"virtual_time":      now.String(),
+		"tickets_opened":    rep.TicketsOpened,
+		"tickets_resolved":  rep.TicketsResolved,
+		"mean_window":       rep.MeanServiceWindow.String(),
+		"availability":      rep.FleetAvailability,
+		"down_link_hours":   rep.DownLinkHours,
+		"robot_tasks":       rep.RobotTasks,
+		"human_tasks":       rep.HumanTasks,
+		"human_escalations": rep.EscalationsToHuman,
+		"cascades":          rep.CascadesDuringOps,
+		"proactive_tasks":   rep.ProactiveTasks,
+		"predictive_tasks":  rep.PredictiveTasks,
+	})
+}
+
+func (s *server) tickets(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type row struct {
+		ID       int    `json:"id"`
+		Link     string `json:"link"`
+		Kind     string `json:"kind"`
+		Status   string `json:"status"`
+		Window   string `json:"window,omitempty"`
+		Attempts int    `json:"attempts"`
+	}
+	var rows []row
+	for _, t := range s.c.World().Store.All() {
+		rw := row{ID: t.ID, Link: t.Link.Name(), Kind: t.Kind.String(),
+			Status: t.Status.String(), Attempts: len(t.Attempts)}
+		if t.Status == ticket.Resolved {
+			rw.Window = t.ServiceWindow().String()
+		}
+		rows = append(rows, rw)
+	}
+	writeJSON(w, rows)
+}
+
+func (s *server) log(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	lines := s.c.DecisionLog(200)
+	s.mu.Unlock()
+	writeJSON(w, lines)
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	world := s.c.World()
+	out := map[string][]string{"down": {}, "flapping": {}}
+	for _, l := range world.Net.Links {
+		switch world.Inj.Observable(l.ID) {
+		case faults.Down:
+			out["down"] = append(out["down"], l.Name())
+		case faults.Flapping:
+			out["flapping"] = append(out["flapping"], l.Name())
+		}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7800", "HTTP listen address")
+		level  = flag.Int("level", 4, "automation level 0-4")
+		pace   = flag.Float64("pace", 3600, "virtual seconds per wall second")
+		accel  = flag.Float64("accel", 20, "fault acceleration")
+		seed   = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	c, err := selfmaint.NewCluster(
+		selfmaint.WithSeed(*seed),
+		selfmaint.WithLevel(selfmaint.Level(*level)),
+		selfmaint.WithRobots(),
+		selfmaint.WithTechnicians(2),
+		selfmaint.WithFaultAcceleration(*accel),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "selfmaintd:", err)
+		os.Exit(1)
+	}
+	srv := &server{c: c}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", srv.status)
+	mux.HandleFunc("/tickets", srv.tickets)
+	mux.HandleFunc("/health", srv.health)
+	mux.HandleFunc("/log", srv.log)
+
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for range tick.C {
+			srv.step(sim.Time(*pace * float64(sim.Second)))
+		}
+	}()
+
+	fmt.Printf("selfmaintd: L%d hall on %s, pacing %gx real time\n", *level, *listen, *pace)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "selfmaintd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+// Flapping link: the paper's gray-failure story (§1, §3.2) end to end.
+// Dirt on a fiber end-face makes a link flap; telemetry needs several
+// episodes to flag it; the first repair is a reseat, which can mask the
+// dirt and produce the classic repeat ticket; the repeat escalates straight
+// to cleaning. The example prints the whole timeline, contrasting L0
+// (human) and L3 (robotic) handling of the same incident.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/selfmaint"
+)
+
+func main() {
+	for _, level := range []selfmaint.Level{selfmaint.L0, selfmaint.L3} {
+		fmt.Printf("=== automation level %v ===\n", level)
+		run(level)
+		fmt.Println()
+	}
+}
+
+func run(level selfmaint.Level) {
+	cluster, err := selfmaint.NewCluster(
+		selfmaint.WithSeed(11),
+		selfmaint.WithLevel(level),
+		selfmaint.WithRobots(),
+		selfmaint.WithTechnicians(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Contaminate a fabric link's end-face at the 10h mark.
+	cluster.Run(10 * selfmaint.Hour)
+	name, err := cluster.InjectFault(2, selfmaint.Contamination)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%v: dirt on an end-face of %s (link now flaps intermittently)\n",
+		cluster.Now(), name)
+
+	// Run two weeks: enough for flap detection, the reseat-first repair, a
+	// possible masked recurrence, and the escalated cleaning.
+	cluster.Run(14 * selfmaint.Day)
+
+	for _, line := range cluster.TicketLog() {
+		fmt.Println(" ", line)
+	}
+	rep := cluster.Report()
+	fmt.Printf("degraded link-hours: %.1f, mean service window: %v\n",
+		rep.DegradedLinkHours, rep.MeanServiceWindow)
+}

@@ -1,0 +1,300 @@
+// Package core is the paper's primary contribution: the self-maintenance
+// controller — the SDN-style control plane that owns hardware repair (§2).
+// It consumes telemetry alerts, files and escalates tickets, diagnoses
+// links, schedules robots (and the human workforce where robots cannot go),
+// pre-drains the cables a planned manipulation will contact, runs proactive
+// maintenance campaigns during low-utilization windows, and predicts
+// failures from telemetry features.
+//
+// The controller's behaviour is governed by an automation Level (§2.1),
+// mirroring the SAE-derived taxonomy: at L0 everything is human; L1 robots
+// assist but a technician must operate them; L2 robots act under human
+// supervision (shift hours only); L3 robots are autonomous end-to-end with
+// humans handling only escalations; L4 adds fully autonomous proactive and
+// predictive maintenance.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diagnosis"
+	"repro/internal/faults"
+	"repro/internal/robot"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+	"repro/internal/workforce"
+)
+
+// Level is the automation level (§2.1).
+type Level int
+
+// Automation levels.
+const (
+	L0 Level = iota // no automation: technicians only
+	L1              // operator assistance: robots need an operating technician
+	L2              // partial automation: robots work under shift-hours supervision
+	L3              // high automation: autonomous robots, humans for escalations
+	L4              // full automation: L3 + autonomous proactive & predictive work
+)
+
+// String returns "L0".."L4".
+func (l Level) String() string { return fmt.Sprintf("L%d", int(l)) }
+
+// Config governs controller behaviour.
+type Config struct {
+	Level Level
+
+	// ImpactAware enables pre-draining the target link and every cable the
+	// robot's plan reports it will contact (§2, §4) before physical work.
+	ImpactAware bool
+	// DrainSettle is how long to wait after draining before touching
+	// hardware, letting flows move away.
+	DrainSettle sim.Time
+
+	// Proactive enables reseat campaigns: when ProactiveTrigger links on
+	// one switch have been fixed by reseating within ProactiveWindow, all
+	// other pluggable links on that switch get proactive reseats (§4).
+	Proactive        bool
+	ProactiveTrigger int
+	ProactiveWindow  sim.Time
+
+	// Predictive enables the telemetry-trained failure predictor (§4).
+	Predictive bool
+	// PredictHorizon is the label horizon: a link "fails soon" if it leaves
+	// healthy within this window of a snapshot.
+	PredictHorizon sim.Time
+	// PredictTrainAfter is how much history to collect before training.
+	PredictTrainAfter sim.Time
+	// PredictThreshold is the score above which a predictive ticket opens.
+	PredictThreshold float64
+
+	// UtilGate defers proactive/predictive (P2) work while fabric
+	// utilization is above this fraction. Utilization comes from UtilFn.
+	UtilGate float64
+	// UtilFn reports current fabric peak utilization in [0,1]; nil means
+	// always idle (proactive work never deferred).
+	UtilFn func() float64
+
+	// SafetyInterlock defers robotic work in any row where a technician is
+	// currently hands-on (§3.4: humans and robots do not share a row).
+	SafetyInterlock bool
+	// RetryDelay spaces retries after transient scheduler failures.
+	RetryDelay sim.Time
+	// StockoutRetry spaces retries while waiting for parts to restock.
+	StockoutRetry sim.Time
+	// MaxAttempts caps physical attempts per ticket before the ticket is
+	// parked as chronic and retried on a slow cadence.
+	MaxAttempts int
+}
+
+// DefaultConfig returns the configuration for a given automation level,
+// with the cross-layer features (impact-awareness, proactive, predictive)
+// enabled at the levels the paper envisions them.
+func DefaultConfig(level Level) Config {
+	return Config{
+		Level:             level,
+		ImpactAware:       level >= L2,
+		DrainSettle:       5 * sim.Second,
+		Proactive:         level >= L4,
+		ProactiveTrigger:  3,
+		ProactiveWindow:   30 * sim.Day,
+		Predictive:        level >= L4,
+		PredictHorizon:    7 * sim.Day,
+		PredictTrainAfter: 60 * sim.Day,
+		PredictThreshold:  0.75,
+		UtilGate:          0.6,
+		SafetyInterlock:   true,
+		RetryDelay:        30 * sim.Minute,
+		StockoutRetry:     4 * sim.Hour,
+		MaxAttempts:       10,
+	}
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	AlertsSeen         int
+	TicketsOpened      int
+	TicketsResolved    int
+	TicketsCancelled   int
+	RobotTasks         int
+	HumanTasks         int
+	EscalationsToHuman int
+	PreDrains          int
+	CascadesDuringOps  int
+	ProactiveCampaigns int
+	ProactiveTasks     int
+	PredictiveTasks    int
+	ChronicTickets     int
+	SafetyHolds        int
+}
+
+// Controller is the self-maintenance control plane for one network.
+type Controller struct {
+	eng    *sim.Engine
+	net    *topology.Network
+	inj    *faults.Injector
+	mon    *telemetry.Monitor
+	diag   *diagnosis.Engine
+	store  *ticket.Store
+	router *routing.Router
+	fleet  *robot.Fleet
+	crew   *workforce.Crew
+	cfg    Config
+
+	work      map[int]*workItem // by ticket ID
+	reseatLog map[topology.DeviceID][]sim.Time
+
+	predictor *Predictor
+	collector *sampleCollector
+
+	journal journal
+	stats   Stats
+}
+
+// workItem tracks in-flight controller state for a ticket.
+type workItem struct {
+	t          *ticket.Ticket
+	stage      int
+	attempts   int
+	forceHuman bool
+	active     bool
+	drained    []topology.LinkID
+	chronic    bool
+	// notBefore parks the item (stockout backoff, chronic cadence): global
+	// dispatch passes skip it until the instant passes; its own retry event
+	// re-kicks it.
+	notBefore sim.Time
+}
+
+// New wires a controller into a world. It subscribes to the monitor's
+// alerts; the caller owns scheduling the engine.
+func New(eng *sim.Engine, net *topology.Network, inj *faults.Injector,
+	mon *telemetry.Monitor, diag *diagnosis.Engine, store *ticket.Store,
+	router *routing.Router, fleet *robot.Fleet, crew *workforce.Crew, cfg Config) *Controller {
+
+	c := &Controller{
+		eng: eng, net: net, inj: inj, mon: mon, diag: diag, store: store,
+		router: router, fleet: fleet, crew: crew, cfg: cfg,
+		work:      make(map[int]*workItem),
+		reseatLog: make(map[topology.DeviceID][]sim.Time),
+	}
+	mon.OnAlert(c.onAlert)
+	if cfg.Predictive {
+		c.predictor = NewPredictor()
+		c.collector = newSampleCollector(cfg.PredictHorizon)
+		c.startPredictiveLoop()
+	}
+	return c
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// onAlert is the telemetry entry point.
+func (c *Controller) onAlert(a telemetry.Alert) {
+	c.stats.AlertsSeen++
+	if c.collector != nil {
+		c.collector.observeAlert(a)
+	}
+	switch a.Kind {
+	case telemetry.AlertLinkDown:
+		c.openTicket(a.Link, ticket.Reactive, faults.Down, ticket.P0)
+	case telemetry.AlertLinkFlapping:
+		c.openTicket(a.Link, ticket.Reactive, faults.Flapping, ticket.P1)
+	case telemetry.AlertLinkRecovered:
+		// A link that healed with no physical work in flight closes its
+		// ticket (transient or masked fault cleared by itself).
+		if t := c.store.OpenFor(a.Link.ID); t != nil {
+			if w := c.work[t.ID]; w == nil || !w.active {
+				c.store.Cancel(t)
+				delete(c.work, t.ID)
+				c.stats.TicketsCancelled++
+				c.log(EvTicketCancelled, t.ID, a.Link.Name(), "recovered without intervention")
+			}
+		}
+	}
+}
+
+// openTicket files (or dedups into) a ticket and schedules dispatch.
+func (c *Controller) openTicket(l *topology.Link, kind ticket.Kind, symptom faults.Health, prio ticket.Priority) {
+	t, created := c.store.Open(l, kind, symptom, prio)
+	if created {
+		c.stats.TicketsOpened++
+		c.work[t.ID] = &workItem{t: t, stage: t.StartStage}
+		detail := fmt.Sprintf("%v %v %v", kind, symptom, prio)
+		if t.RepeatOf >= 0 {
+			detail += fmt.Sprintf(" (repeat of T%d, start stage %d)", t.RepeatOf, t.StartStage)
+		}
+		c.log(EvTicketOpened, t.ID, l.Name(), detail)
+	}
+	c.kickDispatch()
+}
+
+func (c *Controller) kickDispatch() {
+	c.eng.After(0, "dispatch", c.dispatch)
+}
+
+// dispatch walks all pending work items in (priority, age) order and starts
+// whatever can start now. It iterates the controller's own work map rather
+// than the store's queue: a ticket whose start was rolled back (unit stolen
+// during drain-settle, stockout retry) is Active in the store but still
+// needs dispatching.
+func (c *Controller) dispatch() {
+	now := c.eng.Now()
+	items := make([]*workItem, 0, len(c.work))
+	for _, w := range c.work {
+		if w.active || w.t.Status == ticket.Resolved || w.t.Status == ticket.Cancelled {
+			continue
+		}
+		if now < w.notBefore {
+			continue
+		}
+		items = append(items, w)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i].t, items[j].t
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		if a.CreatedAt != b.CreatedAt {
+			return a.CreatedAt < b.CreatedAt
+		}
+		return a.ID < b.ID
+	})
+	deferred := false
+	for _, w := range items {
+		// Background (P2) work respects the utilization gate.
+		if w.t.Priority == ticket.P2 && c.utilization() > c.cfg.UtilGate {
+			if !deferred {
+				deferred = true
+				c.eng.After(sim.Hour, "util-deferred", c.dispatch)
+			}
+			continue
+		}
+		c.tryStart(w)
+	}
+}
+
+// utilization reads the configured utilization source.
+func (c *Controller) utilization() float64 {
+	if c.cfg.UtilFn == nil {
+		return 0
+	}
+	return c.cfg.UtilFn()
+}
+
+// HeldDrains returns how many links are currently drained on behalf of
+// in-flight work items — operational introspection, and the invariant
+// DrainedCount == HeldDrains must hold whenever the controller is the only
+// drain authority.
+func (c *Controller) HeldDrains() int {
+	n := 0
+	for _, w := range c.work {
+		n += len(w.drained)
+	}
+	return n
+}

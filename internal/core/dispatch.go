@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/robot"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+	"repro/internal/workforce"
+)
+
+// tryStart picks the action and executor for a ticket and launches the
+// physical work if resources allow. It is a no-op (rescheduling itself as
+// needed) when nothing can start yet.
+func (c *Controller) tryStart(w *workItem) {
+	t := w.t
+	// Proactive/predictive tickets on healthy links carry their own action
+	// choice; reactive work consults diagnosis each attempt.
+	action := c.ladderAction(w)
+	end := c.chooseEnd(t.Link, t.Symptom, action)
+
+	useRobot := c.robotEligible(action)
+	var unit *robot.Unit
+	if useRobot {
+		loc := end.Port(t.Link).Device.Loc
+		if c.cfg.SafetyInterlock && c.crew.TechniciansInRow(loc.Row) > 0 {
+			// Safety interlock: a technician is hands-on in that row; the
+			// robot stays out (§3.4). No timed retry is needed — the
+			// occupying technician's task outcome kicks a dispatch pass
+			// the moment the row frees.
+			c.stats.SafetyHolds++
+			c.log(EvSafetyHold, w.t.ID, t.Link.Name(),
+				fmt.Sprintf("technician hands-on in row %d", loc.Row))
+			return
+		}
+		unit = c.fleet.FindUnit(loc)
+		if unit == nil {
+			useRobot = false // out of reach or all busy: fall through to humans
+		}
+	}
+	if w.forceHuman {
+		useRobot = false
+	}
+
+	switch {
+	case useRobot && c.cfg.Level == L1:
+		// Operator assistance: a technician must run the device.
+		tech := c.crew.FindTech()
+		if tech == nil {
+			return // retried when a task completes
+		}
+		tech.Reserve()
+		delay := c.crew.DispatchDelay(c.eng.Now())
+		c.startWork(w, t)
+		c.eng.After(delay, "l1-operator-arrives", func() {
+			c.runRobot(w, unit, robot.Task{Link: t.Link, End: end, Action: action}, tech)
+		})
+	case useRobot && c.cfg.Level == L2 && !c.crew.OnShift(c.eng.Now()):
+		if t.Priority == ticket.P0 {
+			// An outage cannot wait for the supervision shift: call out a
+			// technician instead, today's process.
+			tech := c.crew.FindTech()
+			if tech == nil {
+				return
+			}
+			c.startWork(w, t)
+			c.runHuman(w, tech, workforce.Task{Link: t.Link, End: end, Action: action})
+			return
+		}
+		// Degraded/background work waits for the supervision shift.
+		c.eng.After(c.timeToShift(), "await-supervision", c.dispatch)
+	case useRobot:
+		c.startWork(w, t)
+		c.runRobot(w, unit, robot.Task{Link: t.Link, End: end, Action: action}, nil)
+	default:
+		tech := c.crew.FindTech()
+		if tech == nil {
+			return
+		}
+		c.startWork(w, t)
+		c.runHuman(w, tech, workforce.Task{Link: t.Link, End: end, Action: action})
+	}
+}
+
+// startWork transitions the ticket into execution.
+func (c *Controller) startWork(w *workItem, t *ticket.Ticket) {
+	w.active = true
+	if t.Status == ticket.Open {
+		c.store.Assign(t, "controller")
+	}
+	c.store.Start(t)
+}
+
+// timeToShift returns the delay until the next supervision shift begins.
+func (c *Controller) timeToShift() sim.Time {
+	now := c.eng.Now()
+	for d := sim.Time(0); d <= 24*sim.Hour; d += 15 * sim.Minute {
+		if c.crew.OnShift(now + d) {
+			return d
+		}
+	}
+	return time24
+}
+
+const time24 = 24 * sim.Hour
+
+// ladderAction returns the escalation-ladder action for the current stage,
+// clamped to the last rung.
+func (c *Controller) ladderAction(w *workItem) faults.Action {
+	if w.t.Kind != ticket.Reactive && w.t.Symptom == faults.Healthy {
+		// Proactive/predictive maintenance on a healthy link: stage 0 is a
+		// reseat, stage 1 a clean; never escalate to replacement.
+		if w.stage >= 1 {
+			return faults.Clean
+		}
+		return faults.Reseat
+	}
+	// The ladder wraps: if every rung failed (a wrong-end diagnosis can
+	// defeat even replacements), start over with a fresh diagnostic pass
+	// rather than hammering the top rung forever.
+	stage := w.stage % len(faults.AllActions)
+	a := faults.AllActions[stage]
+	// Cleaning only applies to separable fiber; skip that rung otherwise.
+	if a == faults.Clean && !w.t.Link.HasSeparableFiber() {
+		stage = (stage + 1) % len(faults.AllActions)
+		a = faults.AllActions[stage]
+	}
+	// Reseat requires a pluggable transceiver.
+	if a == faults.Reseat && !w.t.Link.Cable.Class.NeedsTransceiver() {
+		a = faults.ReplaceCable
+		w.stage = 3
+	}
+	return a
+}
+
+// chooseEnd diagnoses the link to decide which end to service. Proactive
+// work on healthy links picks end A (both get serviced across a campaign).
+func (c *Controller) chooseEnd(l *topology.Link, symptom faults.Health, action faults.Action) faults.End {
+	if symptom == faults.Healthy {
+		return faults.EndA
+	}
+	d := c.diag.Diagnose(l, symptom)
+	if action == faults.ReplaceSwitchPort {
+		// Switch work must target a switch end.
+		if !d.End.Port(l).Device.Kind.IsSwitch() {
+			return d.End.Opposite()
+		}
+	}
+	return d.End
+}
+
+// robotEligible reports whether the current level sends this action to a
+// robot at all.
+func (c *Controller) robotEligible(a faults.Action) bool {
+	return c.cfg.Level >= L1 && robot.CanPerform(a)
+}
+
+// runRobot performs impact-aware pre-draining and executes on the unit.
+// tech, when non-nil, is the Level-1 operator to release afterwards.
+func (c *Controller) runRobot(w *workItem, unit *robot.Unit, task robot.Task, tech *workforce.Technician) {
+	begin := func() {
+		if !unit.Available() {
+			// The unit was claimed by another ticket between scheduling
+			// and start (e.g. during the drain-settle delay): retry.
+			if tech != nil {
+				tech.Release()
+			}
+			c.undrain(w)
+			w.active = false
+			c.eng.After(c.cfg.RetryDelay, "unit-stolen-retry", c.dispatch)
+			return
+		}
+		c.stats.RobotTasks++
+		c.log(EvDispatchRobot, w.t.ID, task.Link.Name(),
+			fmt.Sprintf("%v@%v by %s", task.Action, task.End, unit.Name))
+		c.fleet.Execute(unit, task, func(out robot.Outcome) {
+			if tech != nil {
+				tech.Release()
+			}
+			c.undrain(w)
+			c.onRobotOutcome(w, out)
+		})
+	}
+	if c.cfg.ImpactAware {
+		c.preDrain(w, task.Port())
+		c.eng.After(c.cfg.DrainSettle, "drain-settle", begin)
+	} else {
+		begin()
+	}
+}
+
+// runHuman executes the task with a technician. Humans are dispatched
+// without pre-draining at L0/L1 (today's process); at L2+ the controller
+// drains for them too — the cross-layer machinery exists regardless of who
+// holds the tool.
+func (c *Controller) runHuman(w *workItem, tech *workforce.Technician, task workforce.Task) {
+	begin := func() {
+		if !tech.Available() {
+			// Claimed by another ticket during the drain-settle delay.
+			c.undrain(w)
+			w.active = false
+			c.eng.After(c.cfg.RetryDelay, "tech-stolen-retry", c.dispatch)
+			return
+		}
+		c.stats.HumanTasks++
+		c.log(EvDispatchHuman, w.t.ID, task.Link.Name(),
+			fmt.Sprintf("%v@%v by %s", task.Action, task.End, tech.Name))
+		c.crew.Execute(tech, task, func(out workforce.Outcome) {
+			c.undrain(w)
+			c.onHumanOutcome(w, out)
+		})
+	}
+	if c.cfg.ImpactAware {
+		c.preDrain(w, task.Port())
+		c.eng.After(c.cfg.DrainSettle, "drain-settle", begin)
+	} else {
+		begin()
+	}
+}
+
+// preDrain drains the target link and every cable the manipulation will
+// contact (the robot API's pre-report), so touched cables carry no traffic.
+func (c *Controller) preDrain(w *workItem, port *topology.Port) {
+	drain := func(id topology.LinkID) {
+		if !c.router.Drained(id) {
+			c.router.Drain(id)
+			w.drained = append(w.drained, id)
+		}
+	}
+	drain(w.t.Link.ID)
+	for _, l := range c.inj.DisturbedBy(port) {
+		drain(l.ID)
+	}
+	c.stats.PreDrains++
+	c.log(EvPreDrain, w.t.ID, w.t.Link.Name(),
+		fmt.Sprintf("drained %d link(s) ahead of manipulation", len(w.drained)))
+}
+
+// undrain restores everything this work item drained.
+func (c *Controller) undrain(w *workItem) {
+	for _, id := range w.drained {
+		c.router.Undrain(id)
+	}
+	w.drained = nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies a controller decision for the journal.
+type EventKind uint8
+
+// Journal event kinds.
+const (
+	EvTicketOpened EventKind = iota
+	EvTicketResolved
+	EvTicketCancelled
+	EvDispatchRobot
+	EvDispatchHuman
+	EvPreDrain
+	EvEscalateLadder
+	EvEscalateHuman
+	EvSafetyHold
+	EvStockoutWait
+	EvChronic
+	EvProactiveCampaign
+	EvPredictiveTicket
+)
+
+var eventKindNames = [...]string{
+	EvTicketOpened:      "ticket-opened",
+	EvTicketResolved:    "ticket-resolved",
+	EvTicketCancelled:   "ticket-cancelled",
+	EvDispatchRobot:     "dispatch-robot",
+	EvDispatchHuman:     "dispatch-human",
+	EvPreDrain:          "pre-drain",
+	EvEscalateLadder:    "escalate-ladder",
+	EvEscalateHuman:     "escalate-human",
+	EvSafetyHold:        "safety-hold",
+	EvStockoutWait:      "stockout-wait",
+	EvChronic:           "chronic",
+	EvProactiveCampaign: "proactive-campaign",
+	EvPredictiveTicket:  "predictive-ticket",
+}
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// JournalEntry is one controller decision, in virtual time.
+type JournalEntry struct {
+	At     sim.Time
+	Kind   EventKind
+	Ticket int    // ticket ID, -1 when not ticket-scoped
+	Link   string // link name, "" when not link-scoped
+	Detail string
+}
+
+// String renders a log line.
+func (e JournalEntry) String() string {
+	s := fmt.Sprintf("[%v] %s", e.At, e.Kind)
+	if e.Ticket >= 0 {
+		s += fmt.Sprintf(" T%d", e.Ticket)
+	}
+	if e.Link != "" {
+		s += " " + e.Link
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// journal is a bounded ring of recent controller decisions: the audit trail
+// an operator tails to understand what the control plane is doing and why —
+// the observability face of the paper's "controllable and understood by the
+// software service" requirement (§2).
+type journal struct {
+	entries []JournalEntry
+	next    int
+	full    bool
+}
+
+const journalCap = 4096
+
+func (j *journal) add(e JournalEntry) {
+	if cap(j.entries) == 0 {
+		j.entries = make([]JournalEntry, journalCap)
+	}
+	j.entries[j.next] = e
+	j.next++
+	if j.next == len(j.entries) {
+		j.next = 0
+		j.full = true
+	}
+}
+
+// tail returns up to n most recent entries, oldest first.
+func (j *journal) tail(n int) []JournalEntry {
+	var all []JournalEntry
+	if j.full {
+		all = append(all, j.entries[j.next:]...)
+		all = append(all, j.entries[:j.next]...)
+	} else {
+		all = j.entries[:j.next]
+	}
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	out := make([]JournalEntry, len(all))
+	copy(out, all)
+	return out
+}
+
+// log records a controller decision.
+func (c *Controller) log(kind EventKind, ticketID int, link, detail string) {
+	c.journal.add(JournalEntry{
+		At: c.eng.Now(), Kind: kind, Ticket: ticketID, Link: link, Detail: detail,
+	})
+}
+
+// Journal returns up to n recent controller decisions, oldest first (n <= 0
+// returns everything retained).
+func (c *Controller) Journal(n int) []JournalEntry {
+	return c.journal.tail(n)
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+)
+
+// Predictor is a logistic-regression failure predictor over telemetry
+// features (§4: "machine learning techniques to predict failures"),
+// implemented from scratch: z-score normalization plus full-batch gradient
+// descent. It is deliberately simple — the experiment (T4) measures what
+// even a linear model buys when the features are flap statistics.
+type Predictor struct {
+	W    []float64
+	B    float64
+	mean []float64
+	std  []float64
+
+	Trained bool
+}
+
+// NewPredictor returns an untrained predictor.
+func NewPredictor() *Predictor { return &Predictor{} }
+
+// Train fits the model. X is the feature matrix, y the fail-soon labels.
+func (p *Predictor) Train(X [][]float64, y []bool) {
+	if len(X) == 0 {
+		return
+	}
+	d := len(X[0])
+	p.mean = make([]float64, d)
+	p.std = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var m float64
+		for _, x := range X {
+			m += x[j]
+		}
+		m /= float64(len(X))
+		var v float64
+		for _, x := range X {
+			v += (x[j] - m) * (x[j] - m)
+		}
+		v /= float64(len(X))
+		p.mean[j] = m
+		p.std[j] = math.Sqrt(v)
+		if p.std[j] < 1e-9 {
+			p.std[j] = 1
+		}
+	}
+	norm := make([][]float64, len(X))
+	for i, x := range X {
+		row := make([]float64, d)
+		for j := range x {
+			row[j] = (x[j] - p.mean[j]) / p.std[j]
+		}
+		norm[i] = row
+	}
+	// Class weighting: failures are rare; upweight positives to balance.
+	pos := 0
+	for _, label := range y {
+		if label {
+			pos++
+		}
+	}
+	if pos == 0 || pos == len(y) {
+		return // degenerate dataset; stay untrained
+	}
+	posW := float64(len(y)-pos) / float64(pos)
+
+	p.W = make([]float64, d)
+	p.B = 0
+	const epochs = 300
+	lr := 0.1
+	n := float64(len(norm))
+	for e := 0; e < epochs; e++ {
+		gw := make([]float64, d)
+		gb := 0.0
+		for i, x := range norm {
+			pred := sigmoid(dot(p.W, x) + p.B)
+			target := 0.0
+			weight := 1.0
+			if y[i] {
+				target = 1
+				weight = posW
+			}
+			err := (pred - target) * weight
+			for j := range x {
+				gw[j] += err * x[j]
+			}
+			gb += err
+		}
+		for j := range p.W {
+			p.W[j] -= lr * gw[j] / n
+		}
+		p.B -= lr * gb / n
+	}
+	p.Trained = true
+}
+
+// Score returns the fail-soon probability for a feature vector.
+func (p *Predictor) Score(x []float64) float64 {
+	if !p.Trained {
+		return 0
+	}
+	z := p.B
+	for j := range x {
+		z += p.W[j] * (x[j] - p.mean[j]) / p.std[j]
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Quality reports classification metrics on a labelled set at a threshold.
+type Quality struct {
+	Precision, Recall, F1 float64
+	TP, FP, FN, TN        int
+}
+
+// Evaluate scores a labelled set.
+func (p *Predictor) Evaluate(X [][]float64, y []bool, threshold float64) Quality {
+	var q Quality
+	for i, x := range X {
+		pred := p.Score(x) >= threshold
+		switch {
+		case pred && y[i]:
+			q.TP++
+		case pred && !y[i]:
+			q.FP++
+		case !pred && y[i]:
+			q.FN++
+		default:
+			q.TN++
+		}
+	}
+	if q.TP+q.FP > 0 {
+		q.Precision = float64(q.TP) / float64(q.TP+q.FP)
+	}
+	if q.TP+q.FN > 0 {
+		q.Recall = float64(q.TP) / float64(q.TP+q.FN)
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+// snapshot is one (link, time, features) sample awaiting its label.
+type snapshot struct {
+	link     topology.LinkID
+	at       sim.Time
+	features []float64
+	positive bool
+}
+
+// sampleCollector accumulates daily feature snapshots and labels them when
+// failures arrive.
+type sampleCollector struct {
+	horizon   sim.Time
+	snapshots []snapshot
+	byLink    map[topology.LinkID][]int // indexes into snapshots
+}
+
+func newSampleCollector(horizon sim.Time) *sampleCollector {
+	return &sampleCollector{horizon: horizon, byLink: make(map[topology.LinkID][]int)}
+}
+
+func (sc *sampleCollector) add(link topology.LinkID, at sim.Time, features []float64) {
+	sc.byLink[link] = append(sc.byLink[link], len(sc.snapshots))
+	sc.snapshots = append(sc.snapshots, snapshot{link: link, at: at, features: features})
+}
+
+// observeAlert labels recent snapshots of a failing link positive.
+func (sc *sampleCollector) observeAlert(a telemetry.Alert) {
+	if a.Kind == telemetry.AlertLinkRecovered {
+		return
+	}
+	cut := a.At - sc.horizon
+	for _, idx := range sc.byLink[a.Link.ID] {
+		s := &sc.snapshots[idx]
+		if s.at >= cut && s.at <= a.At {
+			s.positive = true
+		}
+	}
+}
+
+// dataset returns the matured samples (old enough that their label is
+// final) as a training set.
+func (sc *sampleCollector) dataset(now sim.Time) (X [][]float64, y []bool) {
+	for _, s := range sc.snapshots {
+		if now-s.at >= sc.horizon {
+			X = append(X, s.features)
+			y = append(y, s.positive)
+		}
+	}
+	return X, y
+}
+
+// startPredictiveLoop schedules the daily snapshot/score cycle and the
+// one-time training event.
+func (c *Controller) startPredictiveLoop() {
+	lastPredicted := make(map[topology.LinkID]sim.Time)
+	const cooldown = 14 * sim.Day
+
+	c.eng.Every(sim.Day, sim.Day, "predict-cycle", func(at sim.Time) {
+		for _, l := range c.net.SwitchLinks() {
+			if !l.Cable.Class.NeedsTransceiver() {
+				continue
+			}
+			// Snapshot only currently-healthy links: the prediction task is
+			// "healthy now, fails within the horizon", so samples of links
+			// that are already broken would poison both classes.
+			if c.inj.Observable(l.ID) != faults.Healthy {
+				continue
+			}
+			feats := c.mon.Snapshot(l.ID).Vector()
+			c.collector.add(l.ID, at, feats)
+			if !c.predictor.Trained {
+				continue
+			}
+			if c.store.OpenFor(l.ID) != nil {
+				continue
+			}
+			if at-lastPredicted[l.ID] < cooldown {
+				continue
+			}
+			if score := c.predictor.Score(feats); score >= c.cfg.PredictThreshold {
+				lastPredicted[l.ID] = at
+				c.stats.PredictiveTasks++
+				c.log(EvPredictiveTicket, -1, l.Name(),
+					fmt.Sprintf("fail-soon score %.2f", score))
+				c.openTicket(l, ticket.Predictive, faults.Healthy, ticket.P2)
+			}
+		}
+	})
+	c.eng.Schedule(c.eng.Now()+c.cfg.PredictTrainAfter, "predict-train", func() {
+		X, y := c.collector.dataset(c.eng.Now())
+		c.predictor.Train(X, y)
+	})
+}
+
+// PredictorHandle exposes the trained predictor for experiment scoring.
+func (c *Controller) PredictorHandle() *Predictor { return c.predictor }
+
+// CollectorDataset exposes matured labelled samples for experiment scoring.
+func (c *Controller) CollectorDataset() (X [][]float64, y []bool) {
+	if c.collector == nil {
+		return nil, nil
+	}
+	return c.collector.dataset(c.eng.Now())
+}

@@ -1,0 +1,172 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+func setup(t *testing.T, seed uint64) (*sim.Engine, *topology.Network, *faults.Injector, *Engine) {
+	t.Helper()
+	n, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 4, Spines: 2, HostsPerLeaf: 2, Uplinks: 1,
+		FabricGbps: 400, HostGbps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(seed)
+	fcfg := faults.DefaultConfig()
+	fcfg.AnnualRate = map[faults.Cause]float64{}
+	inj := faults.NewInjector(eng, n, fcfg)
+	mon := telemetry.NewMonitor(eng, n, telemetry.DefaultConfig())
+	inj.Subscribe(mon)
+	return eng, n, inj, New(eng, mon, inj)
+}
+
+func sepLink(t *testing.T, n *topology.Network, i int) *topology.Link {
+	t.Helper()
+	var sep []*topology.Link
+	for _, l := range n.SwitchLinks() {
+		if l.HasSeparableFiber() {
+			sep = append(sep, l)
+		}
+	}
+	if len(sep) == 0 {
+		t.Fatal("no separable links")
+	}
+	return sep[i%len(sep)]
+}
+
+func TestContaminationLocalization(t *testing.T) {
+	_, n, inj, diag := setup(t, 1)
+	correctEnd, correctCause := 0, 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		l := sepLink(t, n, i%6)
+		inj.InduceFault(l, faults.Contamination)
+		st := inj.State(l.ID)
+		d := diag.Diagnose(l, inj.Observable(l.ID))
+		if d.End == st.CauseEnd {
+			correctEnd++
+		}
+		if d.Top() == faults.Contamination {
+			correctCause++
+		}
+		// Clean up for the next trial (replace cable always fixes dirt).
+		inj.BeginRepair(l)
+		for !inj.FinishRepair(l, faults.ReplaceCable, faults.EndA).Fixed {
+			inj.BeginRepair(l)
+		}
+	}
+	if correctEnd < trials*6/10 {
+		t.Fatalf("end localization %d/%d, want >60%%", correctEnd, trials)
+	}
+	if correctEnd == trials {
+		t.Fatalf("end localization perfect over %d noisy trials (suspicious)", trials)
+	}
+	if correctCause < trials*6/10 {
+		t.Fatalf("cause ranking %d/%d top-1 contamination", correctCause, trials)
+	}
+}
+
+func TestElectricalFaultsPointAtErrors(t *testing.T) {
+	_, n, inj, diag := setup(t, 2)
+	hit := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		l := sepLink(t, n, i%6)
+		inj.InduceFault(l, faults.Oxidation)
+		st := inj.State(l.ID)
+		d := diag.Diagnose(l, inj.Observable(l.ID))
+		// Flapping separable links legitimately rank contamination near the
+		// top, so score the electrical family within the top two suspects.
+		electricalTop2 := false
+		for i, s := range d.Suspects {
+			if i >= 2 {
+				break
+			}
+			switch s.Cause {
+			case faults.Oxidation, faults.FirmwareHang, faults.XcvrDead:
+				electricalTop2 = true
+			}
+		}
+		if electricalTop2 && d.End == st.CauseEnd {
+			hit++
+		}
+		inj.BeginRepair(l)
+		for !inj.FinishRepair(l, faults.ReplaceXcvr, st.CauseEnd).Fixed {
+			inj.BeginRepair(l)
+		}
+	}
+	if hit < trials/2 {
+		t.Fatalf("electrical localization hit %d/%d", hit, trials)
+	}
+}
+
+func TestSuspectWeightsNormalized(t *testing.T) {
+	_, n, inj, diag := setup(t, 3)
+	l := sepLink(t, n, 0)
+	inj.InduceFault(l, faults.XcvrDead)
+	d := diag.Diagnose(l, faults.Down)
+	var total float64
+	for i, s := range d.Suspects {
+		total += s.Weight
+		if i > 0 && s.Weight > d.Suspects[i-1].Weight {
+			t.Fatal("suspects not sorted by weight")
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("weights sum to %g", total)
+	}
+	if d.String() == "" {
+		t.Error("empty diagnosis string")
+	}
+}
+
+func TestHealthyLinkFallsBackToBaseRates(t *testing.T) {
+	_, n, _, diag := setup(t, 4)
+	l := sepLink(t, n, 0)
+	d := diag.Diagnose(l, faults.Down) // symptom claimed but no fault
+	if len(d.Suspects) == 0 {
+		t.Fatal("no suspects for evidence-free diagnosis")
+	}
+	if d.Top() == faults.None {
+		t.Fatal("Top returned None with suspects present")
+	}
+}
+
+func TestTopOnEmpty(t *testing.T) {
+	var d Diagnosis
+	if d.Top() != faults.None {
+		t.Fatal("empty diagnosis Top != None")
+	}
+}
+
+func TestReadingsAveraging(t *testing.T) {
+	_, n, inj, diag := setup(t, 5)
+	l := sepLink(t, n, 0)
+	inj.InduceFault(l, faults.Contamination)
+	st := inj.State(l.ID)
+	diag.Readings = 0 // exercised as max(1, ...)
+	one := 0
+	diag.Readings = 1
+	many := 0
+	for i := 0; i < 60; i++ {
+		if diag.Diagnose(l, faults.Flapping).End == st.CauseEnd {
+			one++
+		}
+	}
+	diag.Readings = 10
+	for i := 0; i < 60; i++ {
+		if diag.Diagnose(l, faults.Flapping).End == st.CauseEnd {
+			many++
+		}
+	}
+	if many < one-8 {
+		t.Fatalf("more readings made localization notably worse: 1-shot=%d, 10-shot=%d", one, many)
+	}
+}

@@ -1,0 +1,176 @@
+package faults
+
+import "repro/internal/sim"
+
+// Config calibrates the failure, cascade and repair-outcome models. The
+// defaults are chosen to match the qualitative statistics the paper leans
+// on (failures are frequent at scale, a large fraction are optical-layer
+// and gray, reseating is a surprisingly effective first action) and the
+// magnitudes published for production fabrics (e.g. Zhuo et al., SIGCOMM'17
+// on corrupting links). Experiments that sweep a knob document it in
+// EXPERIMENTS.md.
+type Config struct {
+	// AnnualRate is the per-link expected number of fault onsets per year
+	// of each cause, for links whose media the cause applies to. A cause
+	// applies as follows:
+	//   Oxidation, FirmwareHang, XcvrDead: links with pluggable transceivers
+	//   Contamination: links with separable fiber (LC/MPO)
+	//   CableDamaged: every link
+	//   SwitchPort: links with at least one switch end
+	AnnualRate map[Cause]float64
+
+	// Shape is the Weibull shape per cause: <1 infant mortality, 1
+	// memoryless, >1 wear-out.
+	Shape map[Cause]float64
+
+	// FlapInterval is the distribution (seconds) of gaps between flap
+	// episodes while a link is flapping, before environment modulation.
+	FlapInterval sim.Dist
+	// FlapDuration is the distribution (seconds) of each flap episode.
+	FlapDuration sim.Dist
+	// FlapLoss is the distribution of the packet-loss fraction during an
+	// episode.
+	FlapLoss sim.Dist
+
+	// DownManifest is the probability that a cause manifests fail-stop
+	// (Down) rather than gray (Flapping).
+	DownManifest map[Cause]float64
+
+	// FixProb[action][cause] is the probability that the action clears the
+	// cause when applied to the correct end. Absent entries are zero.
+	FixProb map[Action]map[Cause]float64
+
+	// ReseatMaskProb is the probability that a reseat on a contaminated
+	// link temporarily masks the symptom instead of failing outright —
+	// the mechanism behind the paper's repeat tickets (§3.2).
+	ReseatMaskProb float64
+	// MaskedRecurrence is the distribution (hours) of time until a masked
+	// contamination recurs.
+	MaskedRecurrence sim.Dist
+
+	// CleanRecontaminate is the probability a cleaning leaves or
+	// reintroduces dirt (robot reassembles "to minimize the risk of
+	// recontamination", §3.3.2 — but not perfectly).
+	CleanRecontaminate float64
+
+	// Touch cascade model: a physical touch at a port disturbs nearby
+	// cables (within TouchRadiusM on the same panel) and cables sharing
+	// tray segments. Each disturbed cable suffers a transient flap with
+	// probability TouchTransientProb (scaled by proximity), and a new
+	// permanent fault with probability TouchPermanentProb. gentle touches
+	// (purpose-built grippers, §3.3.1) multiply both by GentleFactor.
+	TouchRadiusM       float64
+	TouchTransientProb float64
+	TouchPermanentProb float64
+	GentleFactor       float64
+	// TrayDisturbProb is the per-cable probability that moving a cable
+	// disturbs a tray-mate (applies to cable replacement, which pulls the
+	// full run).
+	TrayDisturbProb float64
+
+	// Environment modulation: flap rates swing with the daily
+	// temperature/vibration cycle by ±EnvAmplitude.
+	EnvAmplitude float64
+
+	// Gradual causes (contamination, oxidation) incubate: for
+	// PrecursorIncubation (days) before the onset manifests, the link emits
+	// sparse sub-clinical flap episodes (mean gap PrecursorGapH hours, loss
+	// PrecursorLoss) — the degraded-over-time precursor signature of §1,
+	// and the signal failure prediction feeds on (§4).
+	PrecursorIncubation sim.Dist
+	PrecursorGapH       float64
+	PrecursorLoss       float64
+}
+
+// DefaultConfig returns the calibrated defaults described on Config.
+func DefaultConfig() Config {
+	return Config{
+		AnnualRate: map[Cause]float64{
+			Oxidation:     0.14,
+			FirmwareHang:  0.10,
+			Contamination: 0.10,
+			XcvrDead:      0.03,
+			CableDamaged:  0.008,
+			SwitchPort:    0.006,
+		},
+		Shape: map[Cause]float64{
+			Oxidation:     1.3, // slow wear-out of contacts
+			FirmwareHang:  1.0, // memoryless
+			Contamination: 1.1,
+			XcvrDead:      0.8, // infant mortality visible
+			CableDamaged:  1.0,
+			SwitchPort:    1.0,
+		},
+		FlapInterval: sim.Exp{MeanVal: 25 * 60},                                // ~25 min between episodes
+		FlapDuration: sim.Clamped{Base: sim.Exp{MeanVal: 8}, Lo: 0.5, Hi: 120}, // seconds
+		FlapLoss:     sim.Clamped{Base: sim.Exp{MeanVal: 0.3}, Lo: 0.02, Hi: 1},
+		DownManifest: map[Cause]float64{
+			Oxidation:     0.35,
+			FirmwareHang:  0.75,
+			Contamination: 0.15, // dirt mostly flaps
+			XcvrDead:      1.0,
+			CableDamaged:  0.7,
+			SwitchPort:    0.85,
+		},
+		FixProb: map[Action]map[Cause]float64{
+			Reseat: {
+				Oxidation:    0.90,
+				FirmwareHang: 0.95,
+				// Contamination via ReseatMaskProb only.
+			},
+			Clean: {
+				Contamination: 0.92,
+				Oxidation:     0.50, // cleaning includes a reseat cycle
+				FirmwareHang:  0.60,
+			},
+			ReplaceXcvr: {
+				XcvrDead:     1.0,
+				FirmwareHang: 1.0,
+				Oxidation:    0.95,
+				// Contamination on the cable side survives a new module.
+			},
+			ReplaceCable: {
+				CableDamaged:  1.0,
+				Contamination: 0.98, // new cable, cleaned at assembly
+			},
+			ReplaceSwitchPort: {
+				SwitchPort: 1.0,
+			},
+		},
+		ReseatMaskProb:     0.35,
+		MaskedRecurrence:   sim.LogNormal{Mu: 4.2, Sigma: 0.8}, // ~67h median, heavy tail
+		CleanRecontaminate: 0.04,
+		TouchRadiusM:       0.08,
+		TouchTransientProb: 0.08,
+		TouchPermanentProb: 0.004,
+		GentleFactor:       0.15,
+		TrayDisturbProb:    0.01,
+		EnvAmplitude:       0.4,
+
+		PrecursorIncubation: sim.Uniform{Lo: 2, Hi: 8},
+		PrecursorGapH:       8,
+		PrecursorLoss:       0.05,
+	}
+}
+
+// applies reports whether a cause can occur on link l at all.
+func (c Cause) applies(l link) bool {
+	switch c {
+	case Oxidation, FirmwareHang, XcvrDead:
+		return l.needsXcvr
+	case Contamination:
+		return l.separable
+	case CableDamaged:
+		return true
+	case SwitchPort:
+		return l.switchEnd
+	}
+	return false
+}
+
+// link caches the per-link media facts the cause model needs.
+type link struct {
+	needsXcvr bool
+	separable bool
+	switchEnd bool
+}

@@ -1,0 +1,155 @@
+package inventory
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestPoolTakeAndRestock(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := NewPool(eng, map[PartKind]int{PartXcvr: 4}, 2*sim.Day)
+	for i := 0; i < 4; i++ {
+		if !p.Take(PartXcvr) {
+			t.Fatalf("take %d failed with stock", i)
+		}
+	}
+	if p.Stock(PartXcvr) != 0 {
+		t.Fatal("stock not depleted")
+	}
+	if p.Take(PartXcvr) {
+		t.Fatal("take succeeded on empty shelf")
+	}
+	if p.Stockouts != 1 {
+		t.Fatalf("stockouts = %d", p.Stockouts)
+	}
+	// Restock arrives after the lead time.
+	eng.RunUntil(3 * sim.Day)
+	if p.Stock(PartXcvr) != 4 {
+		t.Fatalf("stock after restock = %d", p.Stock(PartXcvr))
+	}
+	if p.Consumed[PartXcvr] != 4 {
+		t.Fatalf("consumed = %d", p.Consumed[PartXcvr])
+	}
+}
+
+func TestPoolReorderPoint(t *testing.T) {
+	eng := sim.NewEngine(2)
+	p := NewPool(eng, map[PartKind]int{PartCable: 8}, sim.Day)
+	// Reorder point is initial/2 = 4: taking 4 parts crosses it.
+	for i := 0; i < 4; i++ {
+		p.Take(PartCable)
+	}
+	eng.RunUntil(2 * sim.Day)
+	if p.Stock(PartCable) != 12 { // 4 remaining + 8 reordered
+		t.Fatalf("stock = %d, want 12", p.Stock(PartCable))
+	}
+	// Only one order in flight at a time.
+	eng2 := sim.NewEngine(3)
+	p2 := NewPool(eng2, map[PartKind]int{PartCable: 4}, 10*sim.Day)
+	for i := 0; i < 4; i++ {
+		p2.Take(PartCable)
+	}
+	p2.Take(PartCable) // stockout; must not double-order
+	eng2.RunUntil(11 * sim.Day)
+	if p2.Stock(PartCable) != 4 {
+		t.Fatalf("double order: stock = %d", p2.Stock(PartCable))
+	}
+}
+
+func TestDefaultStockScalesWithNetwork(t *testing.T) {
+	small, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2, Uplinks: 1, FabricGbps: 400, HostGbps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 16, Spines: 4, HostsPerLeaf: 32, Uplinks: 2, FabricGbps: 400, HostGbps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := DefaultStock(small), DefaultStock(big)
+	if s2[PartXcvr] <= s1[PartXcvr] || s2[PartCable] <= s1[PartCable] {
+		t.Fatalf("stock does not scale: %v vs %v", s1, s2)
+	}
+	for _, k := range []PartKind{PartXcvr, PartCable, PartLineCard, PartCleaningSupplies} {
+		if s1[k] <= 0 {
+			t.Fatalf("zero stock for %v", k)
+		}
+	}
+}
+
+func TestRedundancyNeededMonotoneInMTTR(t *testing.T) {
+	base := ProvisioningInput{Links: 512, AnnualRate: 0.35, Target: 0.9999}
+	prev := -1
+	for _, mttr := range []sim.Time{5 * sim.Minute, 4 * sim.Hour, 3 * sim.Day, 14 * sim.Day} {
+		in := base
+		in.MTTR = mttr
+		k := RedundancyNeeded(in)
+		if k < prev {
+			t.Fatalf("redundancy not monotone in MTTR: %d after %d", k, prev)
+		}
+		prev = k
+	}
+	// Minutes-scale repair needs (almost) no spares; weeks-scale needs many.
+	fast := base
+	fast.MTTR = 5 * sim.Minute
+	slow := base
+	slow.MTTR = 14 * sim.Day
+	kf, ks := RedundancyNeeded(fast), RedundancyNeeded(slow)
+	if kf > 1 {
+		t.Fatalf("minutes-scale repair needs %d spares", kf)
+	}
+	if ks < 5 {
+		t.Fatalf("weeks-scale repair needs only %d spares", ks)
+	}
+}
+
+func TestRedundancyNeededEdgeCases(t *testing.T) {
+	if RedundancyNeeded(ProvisioningInput{Links: 0, AnnualRate: 1, MTTR: sim.Day, Target: 0.99}) != 0 {
+		t.Fatal("zero links needs spares")
+	}
+	if RedundancyNeeded(ProvisioningInput{Links: 10, AnnualRate: 0, MTTR: sim.Day, Target: 0.99}) != 0 {
+		t.Fatal("zero rate needs spares")
+	}
+	// Impossible target clamps at the group size.
+	k := RedundancyNeeded(ProvisioningInput{Links: 5, AnnualRate: 1000, MTTR: 30 * sim.Day, Target: 0.999999})
+	if k > 5 {
+		t.Fatalf("k=%d exceeds group size", k)
+	}
+}
+
+func TestProvisioningSweep(t *testing.T) {
+	rows := ProvisioningSweep(512, 0.35, 0.9999, map[string]sim.Time{
+		"human-days":    3 * sim.Day,
+		"human-hours":   6 * sim.Hour,
+		"robot-minutes": 10 * sim.Minute,
+	})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted slowest-first, spares non-increasing.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MTTR > rows[i-1].MTTR {
+			t.Fatal("rows not sorted by MTTR desc")
+		}
+		if rows[i].Spares > rows[i-1].Spares {
+			t.Fatal("faster repair needs more spares")
+		}
+	}
+	if rows[0].Regime != "human-days" || rows[2].Regime != "robot-minutes" {
+		t.Fatalf("ordering: %+v", rows)
+	}
+	if rows[0].CostPct <= rows[2].CostPct {
+		t.Fatal("cost not reduced by fast repair")
+	}
+}
+
+func TestPartKindStrings(t *testing.T) {
+	if PartXcvr.String() != "transceiver" || PartKind(99).String() == "" {
+		t.Error("part names")
+	}
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// StepIntegrator integrates a piecewise-constant signal over virtual time:
+// Observe(t, v) records that the signal took value v from t onward. It is
+// the availability accountant: feed it demand-satisfaction after every
+// state change and read back the time average.
+type StepIntegrator struct {
+	first   sim.Time
+	last    sim.Time
+	current float64
+	area    float64
+	started bool
+}
+
+// Observe records a new value taking effect at t. Observations must be
+// time-ordered.
+func (s *StepIntegrator) Observe(t sim.Time, v float64) {
+	if s.started {
+		s.area += s.current * float64(t-s.last)
+	} else {
+		s.started = true
+		s.first = t
+	}
+	s.last = t
+	s.current = v
+}
+
+// Average returns the time-weighted mean of the signal over [first
+// observation, t]. If no time has elapsed it returns the current value.
+func (s *StepIntegrator) Average(t sim.Time) float64 {
+	if !s.started || t <= s.first {
+		return s.current
+	}
+	total := s.area + s.current*float64(t-s.last)
+	return total / float64(t-s.first)
+}
+
+// HealthLedger accumulates per-link time in each observable health state.
+// Subscribe it to the fault injector; call Finish before reading.
+type HealthLedger struct {
+	eng   *sim.Engine
+	state []faults.Health
+	since []sim.Time
+	acc   [][3]sim.Time // per link, per health state
+}
+
+// NewHealthLedger creates a ledger for the network's links, all assumed
+// healthy at the current instant.
+func NewHealthLedger(eng *sim.Engine, net *topology.Network) *HealthLedger {
+	hl := &HealthLedger{
+		eng:   eng,
+		state: make([]faults.Health, len(net.Links)),
+		since: make([]sim.Time, len(net.Links)),
+		acc:   make([][3]sim.Time, len(net.Links)),
+	}
+	now := eng.Now()
+	for i := range hl.since {
+		hl.since[i] = now
+	}
+	return hl
+}
+
+// LinkStateChanged implements faults.Listener.
+func (hl *HealthLedger) LinkStateChanged(l *topology.Link, from, to faults.Health, at sim.Time) {
+	id := l.ID
+	hl.acc[id][hl.state[id]] += at - hl.since[id]
+	hl.state[id] = to
+	hl.since[id] = at
+}
+
+// LinkFlapped implements faults.Listener (flaps do not change time
+// accounting).
+func (hl *HealthLedger) LinkFlapped(*topology.Link, sim.Time, float64, sim.Time) {}
+
+// Durations returns the time the link has spent in each state up to now.
+func (hl *HealthLedger) Durations(id topology.LinkID) (healthy, flapping, down sim.Time) {
+	acc := hl.acc[id]
+	acc[hl.state[id]] += hl.eng.Now() - hl.since[id]
+	return acc[faults.Healthy], acc[faults.Flapping], acc[faults.Down]
+}
+
+// Fleet sums durations across all links.
+func (hl *HealthLedger) Fleet() (healthy, flapping, down sim.Time) {
+	for id := range hl.acc {
+		h, f, d := hl.Durations(topology.LinkID(id))
+		healthy += h
+		flapping += f
+		down += d
+	}
+	return healthy, flapping, down
+}
+
+// FleetAvailability returns the fraction of link-time spent fully healthy,
+// and the "nines" convenience formats.
+func (hl *HealthLedger) FleetAvailability() float64 {
+	h, f, d := hl.Fleet()
+	total := h + f + d
+	if total == 0 {
+		return 1
+	}
+	return float64(h) / float64(total)
+}
+
+// DownLinkHours returns the fleet-wide failed-link-hours, the paper's cost
+// unit for the AI-cluster argument.
+func (hl *HealthLedger) DownLinkHours() float64 {
+	_, _, d := hl.Fleet()
+	return d.Duration().Hours()
+}
+
+// DegradedLinkHours returns fleet-wide flapping-link-hours.
+func (hl *HealthLedger) DegradedLinkHours() float64 {
+	_, f, _ := hl.Fleet()
+	return f.Duration().Hours()
+}

@@ -1,0 +1,236 @@
+// Package metrics provides the measurement layer of the framework:
+// streaming statistics (Welford accumulators, exact and P² percentile
+// estimators), time-integrated ledgers for availability accounting, and
+// plain-text table/figure renderers used by the experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford is a numerically stable streaming mean/variance accumulator.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with <2 samples).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stdev returns the sample standard deviation.
+func (w *Welford) Stdev() float64 { return math.Sqrt(w.Var()) }
+
+// String renders "mean ± stdev (n=N)".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", w.Mean(), w.Stdev(), w.n)
+}
+
+// Histogram collects samples for exact quantiles. It is intended for
+// experiment-scale data (up to millions of points); use P2 for unbounded
+// streams.
+type Histogram struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (h *Histogram) Add(x float64) {
+	h.vals = append(h.vals, x)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.vals) }
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest-rank, or 0 with
+// no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+	idx := int(q * float64(len(h.vals)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.vals) {
+		idx = len(h.vals) - 1
+	}
+	return h.vals[idx]
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.vals {
+		s += v
+	}
+	return s / float64(len(h.vals))
+}
+
+// Max returns the largest sample (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	if h.sorted {
+		return h.vals[len(h.vals)-1]
+	}
+	m := h.vals[0]
+	for _, v := range h.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CDF returns (x, F(x)) pairs at n evenly spaced quantiles, suitable for
+// plotting a CDF figure.
+func (h *Histogram) CDF(n int) (xs, fs []float64) {
+	if n < 2 {
+		n = 2
+	}
+	xs = make([]float64, n)
+	fs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		xs[i] = h.Quantile(q)
+		fs[i] = q
+	}
+	return xs, fs
+}
+
+// P2 is the Jain–Chlamtac P² streaming quantile estimator: constant memory,
+// one pass, no sorting. It tracks a single quantile.
+type P2 struct {
+	q       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	inc     [5]float64
+	initial []float64
+}
+
+// NewP2 creates an estimator for quantile q in (0,1).
+func NewP2(q float64) *P2 {
+	p := &P2{q: q}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Add incorporates a sample.
+func (p *P2) Add(x float64) {
+	if p.n < 5 {
+		p.initial = append(p.initial, x)
+		p.n++
+		if p.n == 5 {
+			sort.Float64s(p.initial)
+			for i := 0; i < 5; i++ {
+				p.heights[i] = p.initial[i]
+				p.pos[i] = float64(i + 1)
+			}
+			p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+		}
+		return
+	}
+	p.n++
+	// Find cell k.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.inc[i]
+	}
+	// Adjust interior markers.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := p.parabolic(i, sign)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, sign)
+			}
+			p.pos[i] += sign
+		}
+	}
+}
+
+func (p *P2) parabolic(i int, d float64) float64 {
+	return p.heights[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+func (p *P2) linear(i int, d float64) float64 {
+	di := int(d)
+	return p.heights[i] + d*(p.heights[i+di]-p.heights[i])/(p.pos[i+di]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five samples
+// it falls back to the exact small-sample quantile.
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		tmp := append([]float64(nil), p.initial...)
+		sort.Float64s(tmp)
+		idx := int(p.q * float64(len(tmp)-1))
+		return tmp[idx]
+	}
+	return p.heights[2]
+}
+
+// N returns the number of samples seen.
+func (p *P2) N() int { return p.n }

@@ -1,0 +1,118 @@
+package robotapi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Request type names on the wire.
+const (
+	TypeCapabilities = "capabilities"
+	TypePlan         = "plan"
+	TypeExecute      = "execute"
+	TypeHealth       = "health"
+	TypeInject       = "inject"
+	TypeTopology     = "topology"
+)
+
+// InjectRequest is the wire form of Service.Inject.
+type InjectRequest struct {
+	Link  int    `json:"link"`
+	Cause string `json:"cause"`
+}
+
+// Serve exposes the service over TCP at addr and returns the running
+// server. Close the server to stop.
+func Serve(addr string, svc *Service) (*wire.Server, error) {
+	return wire.NewServer(addr, func(reqType string, payload json.RawMessage) (any, error) {
+		switch reqType {
+		case TypeCapabilities:
+			return svc.Capabilities(), nil
+		case TypePlan:
+			var spec TaskSpec
+			if err := json.Unmarshal(payload, &spec); err != nil {
+				return nil, err
+			}
+			return svc.Plan(spec)
+		case TypeExecute:
+			var spec TaskSpec
+			if err := json.Unmarshal(payload, &spec); err != nil {
+				return nil, err
+			}
+			return svc.Execute(spec)
+		case TypeHealth:
+			return svc.Health(), nil
+		case TypeTopology:
+			return svc.Topology()
+		case TypeInject:
+			var req InjectRequest
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, err
+			}
+			return nil, svc.Inject(req.Link, req.Cause)
+		default:
+			return nil, fmt.Errorf("robotapi: unknown request type %q", reqType)
+		}
+	})
+}
+
+// Client is the typed TCP client for the robot API, mirroring Service.
+type Client struct {
+	c *wire.Client
+}
+
+// DialClient connects to a robot API server.
+func DialClient(ctx context.Context, addr string) (*Client, error) {
+	c, err := wire.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Capabilities fetches the fleet capability report.
+func (c *Client) Capabilities(ctx context.Context) (Capabilities, error) {
+	var out Capabilities
+	err := c.c.Call(ctx, TypeCapabilities, struct{}{}, &out)
+	return out, err
+}
+
+// Plan fetches the pre-motion report for a task.
+func (c *Client) Plan(ctx context.Context, spec TaskSpec) (Plan, error) {
+	var out Plan
+	err := c.c.Call(ctx, TypePlan, spec, &out)
+	return out, err
+}
+
+// Execute runs a task to completion on the remote world.
+func (c *Client) Execute(ctx context.Context, spec TaskSpec) (ExecuteResult, error) {
+	var out ExecuteResult
+	err := c.c.Call(ctx, TypeExecute, spec, &out)
+	return out, err
+}
+
+// Health fetches the observable health report.
+func (c *Client) Health(ctx context.Context) (HealthReport, error) {
+	var out HealthReport
+	err := c.c.Call(ctx, TypeHealth, struct{}{}, &out)
+	return out, err
+}
+
+// Inject forces a fault on the remote world (demo/testing hook).
+func (c *Client) Inject(ctx context.Context, link int, cause string) error {
+	return c.c.Call(ctx, TypeInject, InjectRequest{Link: link, Cause: cause}, nil)
+}
+
+// Topology fetches the remote hall's structure as raw JSON (the topology
+// package's wire form, decodable with topology.DecodeNetwork).
+func (c *Client) Topology(ctx context.Context) (json.RawMessage, error) {
+	var out json.RawMessage
+	err := c.c.Call(ctx, TypeTopology, struct{}{}, &out)
+	return out, err
+}

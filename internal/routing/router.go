@@ -1,0 +1,250 @@
+// Package routing is the network control plane of the simulation: ECMP
+// flow-level routing over the healthy subgraph, administrative link drains
+// (the hook the maintenance controller uses to move traffic away from
+// hardware before robots touch it, §2), demand-satisfaction assessment, and
+// the flap-to-tail-latency model (§1).
+//
+// Routing is evaluated at flow level: demands are split evenly over
+// equal-cost shortest paths and per-link loads determine how much of each
+// demand is satisfied. This is the standard fluid approximation used for
+// topology studies; packet-level effects enter only through the latency
+// model.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// HealthFn reports whether a link is physically up (not Down and not being
+// worked on). The fault injector's Observable view supplies this.
+type HealthFn func(topology.LinkID) bool
+
+// Router computes paths and loads over the currently usable subgraph.
+type Router struct {
+	net     *topology.Network
+	health  HealthFn
+	drained []bool
+
+	// MaxPaths bounds equal-cost path enumeration per demand.
+	MaxPaths int
+
+	cache      map[[2]topology.DeviceID][]topology.Path
+	distCache  map[topology.DeviceID][]int
+	cacheEpoch uint64
+}
+
+// NewRouter creates a router. health may be nil, meaning all links are
+// physically up.
+func NewRouter(net *topology.Network, health HealthFn) *Router {
+	return &Router{
+		net:       net,
+		health:    health,
+		drained:   make([]bool, len(net.Links)),
+		MaxPaths:  8,
+		cache:     make(map[[2]topology.DeviceID][]topology.Path),
+		distCache: make(map[topology.DeviceID][]int),
+	}
+}
+
+// Usable reports whether a link carries traffic: physically up and not
+// administratively drained.
+func (r *Router) Usable(l *topology.Link) bool {
+	if r.drained[l.ID] {
+		return false
+	}
+	if r.health == nil {
+		return true
+	}
+	return r.health(l.ID)
+}
+
+// Drain removes the link from service administratively. Draining is the
+// controller's impact-mitigation primitive: traffic shifts before physical
+// work begins, so a touched cable carries nothing.
+func (r *Router) Drain(id topology.LinkID) {
+	if !r.drained[id] {
+		r.drained[id] = true
+		r.Invalidate()
+	}
+}
+
+// Undrain returns the link to service.
+func (r *Router) Undrain(id topology.LinkID) {
+	if r.drained[id] {
+		r.drained[id] = false
+		r.Invalidate()
+	}
+}
+
+// Drained reports the administrative state.
+func (r *Router) Drained(id topology.LinkID) bool { return r.drained[id] }
+
+// DrainedCount returns how many links are currently drained.
+func (r *Router) DrainedCount() int {
+	n := 0
+	for _, d := range r.drained {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Invalidate flushes the path cache. Callers must invoke it (directly or
+// via Drain/Undrain) whenever link health changes; the controller wires
+// this to telemetry alerts.
+func (r *Router) Invalidate() {
+	r.cacheEpoch++
+	clear(r.cache)
+	clear(r.distCache)
+}
+
+// distTo returns cached BFS hop distances toward dst over usable links.
+// Caching per destination is what makes evaluating thousands of demands
+// cheap: one BFS serves every source.
+func (r *Router) distTo(dst topology.DeviceID) []int {
+	if d, ok := r.distCache[dst]; ok {
+		return d
+	}
+	d := r.net.HopDistances(dst, r.Usable)
+	r.distCache[dst] = d
+	return d
+}
+
+// paths returns cached equal-cost shortest paths for a pair, enumerated
+// over the ECMP DAG induced by the cached distance field.
+func (r *Router) paths(src, dst topology.DeviceID) []topology.Path {
+	key := [2]topology.DeviceID{src, dst}
+	if p, ok := r.cache[key]; ok {
+		return p
+	}
+	var out []topology.Path
+	if src != dst {
+		dist := r.distTo(dst)
+		if dist[src] >= 0 {
+			var cur topology.Path
+			var walk func(d topology.DeviceID)
+			walk = func(d topology.DeviceID) {
+				if len(out) >= r.MaxPaths {
+					return
+				}
+				if d == dst {
+					out = append(out, append(topology.Path(nil), cur...))
+					return
+				}
+				for _, np := range r.net.Neighbors(d) {
+					if !r.Usable(np.Link) {
+						continue
+					}
+					if pd := dist[np.Peer.ID]; pd >= 0 && pd == dist[d]-1 {
+						cur = append(cur, np.Link)
+						walk(np.Peer.ID)
+						cur = cur[:len(cur)-1]
+						if len(out) >= r.MaxPaths {
+							return
+						}
+					}
+				}
+			}
+			walk(src)
+		}
+	}
+	r.cache[key] = out
+	return out
+}
+
+// Assessment is the result of evaluating a traffic matrix.
+type Assessment struct {
+	OfferedGbps   float64
+	SatisfiedGbps float64
+	// PerDemand is the satisfaction fraction of each demand, aligned with
+	// the evaluated matrix.
+	PerDemand []float64
+	// Unreachable counts demands with no usable path at all.
+	Unreachable int
+	// MaxUtil is the highest link load/capacity ratio (pre-clamping).
+	MaxUtil float64
+	// LinkLoad is the offered load per link in Gbps (index: LinkID).
+	LinkLoad []float64
+}
+
+// Availability is the satisfied fraction of offered traffic, the paper's
+// service-level lens on link failures.
+func (a Assessment) Availability() float64 {
+	if a.OfferedGbps == 0 {
+		return 1
+	}
+	return a.SatisfiedGbps / a.OfferedGbps
+}
+
+// String renders a summary.
+func (a Assessment) String() string {
+	return fmt.Sprintf("offered %.0fG satisfied %.0fG (%.4f), unreachable %d, maxutil %.2f",
+		a.OfferedGbps, a.SatisfiedGbps, a.Availability(), a.Unreachable, a.MaxUtil)
+}
+
+// Evaluate routes the matrix over the usable subgraph: each demand splits
+// evenly across its equal-cost paths, and each demand's achieved rate is
+// its offered rate divided by the worst overload factor along its paths —
+// a one-shot approximation of proportional sharing under congestion.
+func (r *Router) Evaluate(tm TrafficMatrix) Assessment {
+	as := Assessment{
+		PerDemand: make([]float64, len(tm.Demands)),
+		LinkLoad:  make([]float64, len(r.net.Links)),
+	}
+	type routed struct {
+		paths []topology.Path
+		share float64
+	}
+	routes := make([]routed, len(tm.Demands))
+	for i, d := range tm.Demands {
+		as.OfferedGbps += d.Gbps
+		paths := r.paths(d.Src, d.Dst)
+		if len(paths) == 0 {
+			as.Unreachable++
+			continue
+		}
+		share := d.Gbps / float64(len(paths))
+		routes[i] = routed{paths: paths, share: share}
+		for _, p := range paths {
+			for _, l := range p {
+				as.LinkLoad[l.ID] += share
+			}
+		}
+	}
+	// Overload factors.
+	over := make([]float64, len(r.net.Links))
+	for id, load := range as.LinkLoad {
+		cap := r.net.Links[id].GbpsCap
+		if cap <= 0 {
+			continue
+		}
+		u := load / cap
+		if u > as.MaxUtil {
+			as.MaxUtil = u
+		}
+		if u > 1 {
+			over[id] = u
+		}
+	}
+	for i, d := range tm.Demands {
+		if routes[i].paths == nil {
+			continue
+		}
+		achieved := 0.0
+		for _, p := range routes[i].paths {
+			worst := 1.0
+			for _, l := range p {
+				if over[l.ID] > worst {
+					worst = over[l.ID]
+				}
+			}
+			achieved += routes[i].share / worst
+		}
+		as.SatisfiedGbps += achieved
+		as.PerDemand[i] = achieved / d.Gbps
+	}
+	return as
+}

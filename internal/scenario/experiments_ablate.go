@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/robot"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+)
+
+// A1RepeatWindow ablates the repeat-ticket window that drives ladder
+// escalation (§3.2: "if the transceiver has been reseated in the past, and
+// another ticket is generated for the same link within a time window ...
+// the next stage is to perform this cleaning"). A zero window never
+// escalates across tickets (every incident restarts at reseat); longer
+// windows remember and start repeats one rung up.
+func A1RepeatWindow(p RepairParams) (*metrics.Table, error) {
+	tab := &metrics.Table{
+		Title: "A1 (ablation): repeat-ticket window vs escalation effectiveness",
+		Cols: []string{"repeat window", "tickets", "repeats", "mean window (h)",
+			"attempts/ticket", "masked recurrences"},
+		Notes: []string{"masked recurrences: reseats that suppressed dirt only temporarily (ground truth)"},
+	}
+	for _, window := range []sim.Time{0, 3 * sim.Day, 14 * sim.Day, 45 * sim.Day} {
+		var tickets, repeats, recurrences int
+		var meanH, attempts float64
+		for _, seed := range p.Seeds {
+			w, err := Build(Options{
+				Seed: seed, BuildNet: p.net(), Level: core.L3,
+				Techs: 2, Robots: true, FaultScale: p.FaultScale,
+				MutateTicket: func(tc *ticket.Config) { tc.RepeatWindow = window },
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.Run(p.Duration)
+			sum := w.Store.Summarize()
+			tickets += sum.Total
+			repeats += sum.Repeats
+			meanH += sum.MeanWindow.Duration().Hours()
+			attempts += sum.AttemptsPerResolved
+			recurrences += w.Inj.Stats().MaskedRecurrences
+		}
+		n := float64(len(p.Seeds))
+		label := window.String()
+		if window == 0 {
+			label = "none"
+		}
+		tab.AddRow(label, tickets, repeats, meanH/n, attempts/n, recurrences)
+	}
+	return tab, nil
+}
+
+// A2MobilityScope ablates the robot deployment scope (§3.4: device-level,
+// rack-level, row-level, hall-level): the same number of units deployed as
+// rack-bound, row-bound or hall-roaming, measuring how much of the repair
+// load robots can actually serve.
+func A2MobilityScope(p RepairParams) (*metrics.Table, error) {
+	tab := &metrics.Table{
+		Title: "A2 (ablation): robot mobility scope at fixed fleet size",
+		Cols: []string{"scope", "units", "robot tasks", "human tasks",
+			"robot share %", "mean window (h)"},
+	}
+	type deployment struct {
+		name  string
+		scope robot.Scope
+	}
+	for _, dep := range []deployment{
+		{"rack", robot.RackScope},
+		{"row", robot.RowScope},
+		{"hall", robot.HallScope},
+	} {
+		var robotTasks, humanTasks, units int
+		var meanH float64
+		for _, seed := range p.Seeds {
+			w, err := Build(Options{
+				Seed: seed, BuildNet: p.net(), Level: core.L3,
+				Techs: 2, FaultScale: p.FaultScale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Deploy one unit per equipment row, but with the ablated scope
+			// (rack units sit at rack 0 and cover only that rack; hall
+			// units roam everywhere).
+			rows := map[int]bool{}
+			for _, d := range w.Net.Devices {
+				rows[d.Loc.Row] = true
+			}
+			units = 0
+			for row := range rows {
+				w.Fleet.AddUnit(fmt.Sprintf("u-%s-%d", dep.name, row), dep.scope,
+					topology.Location{Row: row, Rack: 0})
+				units++
+			}
+			w.Run(p.Duration)
+			st := w.Ctrl.Stats()
+			robotTasks += st.RobotTasks
+			humanTasks += st.HumanTasks
+			meanH += w.Store.Summarize().MeanWindow.Duration().Hours()
+		}
+		n := float64(len(p.Seeds))
+		total := robotTasks + humanTasks
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(robotTasks) / float64(total)
+		}
+		tab.AddRow(dep.name, units, robotTasks, humanTasks, share, meanH/n)
+	}
+	return tab, nil
+}

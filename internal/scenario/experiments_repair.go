@@ -1,0 +1,285 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+)
+
+// RepairParams sizes the repair-pipeline experiments (T1/F1/T2/F2/F3).
+type RepairParams struct {
+	Duration   sim.Time
+	FaultScale float64
+	Seeds      []uint64
+	Quick      bool // use the small hall
+}
+
+// DefaultRepairParams is one accelerated year on the standard hall.
+func DefaultRepairParams() RepairParams {
+	return RepairParams{Duration: sim.Year, FaultScale: 20, Seeds: DefaultSeeds}
+}
+
+// QuickRepairParams is a fast variant for tests and benchmarks.
+func QuickRepairParams() RepairParams {
+	return RepairParams{Duration: 90 * sim.Day, FaultScale: 30, Seeds: []uint64{7, 8}, Quick: true}
+}
+
+func (p RepairParams) net() func() (*topology.Network, error) {
+	if p.Quick {
+		return SmallHall
+	}
+	return StandardHall
+}
+
+// levelWorld builds the canonical world for an automation level: two
+// technicians always; robots deployed from L1 upward.
+func levelWorld(p RepairParams, level core.Level, seed uint64) (*World, error) {
+	return Build(Options{
+		Seed:       seed,
+		BuildNet:   p.net(),
+		Level:      level,
+		Techs:      2,
+		Robots:     level >= core.L1,
+		FaultScale: p.FaultScale,
+	})
+}
+
+// T1ServiceWindow regenerates Table T1: repair service-window statistics by
+// automation level. The paper's claim is the headline one — service windows
+// shrink "from hours and days to literally minutes" (§2).
+func T1ServiceWindow(p RepairParams) (*metrics.Table, *metrics.Figure, error) {
+	tab := &metrics.Table{
+		Title: "T1: repair service window by automation level",
+		Cols:  []string{"level", "tickets", "median", "mean", "p95", "p99"},
+		Notes: []string{
+			fmt.Sprintf("duration=%v per seed, fault acceleration x%g, seeds=%d", p.Duration, p.FaultScale, len(p.Seeds)),
+			"windows are ticket-open to link-healthy, in hours",
+		},
+	}
+	fig := &metrics.Figure{
+		Title:  "F1: service-window CDF by automation level",
+		XLabel: "service window (hours)",
+		YLabel: "fraction of repairs",
+	}
+	for _, level := range []core.Level{core.L0, core.L1, core.L2, core.L3} {
+		var all metrics.Histogram
+		for _, seed := range p.Seeds {
+			w, err := levelWorld(p, level, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			w.Run(p.Duration)
+			for _, t := range w.Store.All() {
+				if t.Kind == ticket.Reactive && t.Status == ticket.Resolved {
+					all.Add(t.ServiceWindow().Duration().Hours())
+				}
+			}
+		}
+		tab.AddRow(level.String(), all.N(),
+			fmtHours(all.Quantile(0.5)), fmtHours(all.Mean()),
+			fmtHours(all.Quantile(0.95)), fmtHours(all.Quantile(0.99)))
+		xs, fs := all.CDF(20)
+		fig.Add(level.String(), xs, fs)
+	}
+	return tab, fig, nil
+}
+
+// fmtHours renders an hour quantity with a human-scale unit.
+func fmtHours(h float64) string {
+	switch {
+	case h < 1:
+		return fmt.Sprintf("%.1fm", h*60)
+	case h < 48:
+		return fmt.Sprintf("%.1fh", h)
+	default:
+		return fmt.Sprintf("%.1fd", h/24)
+	}
+}
+
+// T2Escalation regenerates Table T2: how incidents resolve along the
+// escalation ladder (§3.2) — the fraction fixed by reseat, clean, and the
+// replacements — plus repeat-ticket behaviour.
+func T2Escalation(p RepairParams) (*metrics.Table, error) {
+	byAction := map[faults.Action]int{}
+	resolved, repeats, total := 0, 0, 0
+	var attempts int
+	for _, seed := range p.Seeds {
+		w, err := levelWorld(p, core.L3, seed)
+		if err != nil {
+			return nil, err
+		}
+		w.Run(p.Duration)
+		for _, t := range w.Store.All() {
+			if t.Kind != ticket.Reactive {
+				continue
+			}
+			total++
+			if t.RepeatOf >= 0 {
+				repeats++
+			}
+			if t.Status != ticket.Resolved {
+				continue
+			}
+			resolved++
+			attempts += len(t.Attempts)
+			for i := len(t.Attempts) - 1; i >= 0; i-- {
+				if t.Attempts[i].Fixed {
+					byAction[t.Attempts[i].Action]++
+					break
+				}
+			}
+		}
+	}
+	tab := &metrics.Table{
+		Title: "T2: escalation-ladder outcomes (reactive incidents, L3)",
+		Cols:  []string{"resolving action", "incidents", "% of resolved"},
+	}
+	for _, a := range faults.AllActions {
+		if resolved > 0 {
+			tab.AddRow(a.String(), byAction[a], 100*float64(byAction[a])/float64(resolved))
+		}
+	}
+	if resolved > 0 {
+		tab.Notes = append(tab.Notes,
+			fmt.Sprintf("resolved %d/%d incidents; %.2f attempts per incident; %.1f%% repeat tickets",
+				resolved, total, float64(attempts)/float64(resolved), 100*float64(repeats)/float64(total)))
+	}
+	return tab, nil
+}
+
+// F2Availability regenerates Figure F2: fleet link availability and
+// failed-link-hours versus automation level.
+func F2Availability(p RepairParams) (*metrics.Figure, *metrics.Table, error) {
+	fig := &metrics.Figure{
+		Title:  "F2: availability vs automation level",
+		XLabel: "automation level",
+		YLabel: "fleet link availability",
+	}
+	tab := &metrics.Table{
+		Title: "F2 data: availability and outage burden by level",
+		Cols:  []string{"level", "availability", "down link-hours", "degraded link-hours"},
+	}
+	var xs, av, dlh []float64
+	for _, level := range []core.Level{core.L0, core.L1, core.L2, core.L3, core.L4} {
+		var availW, downW, degW metrics.Welford
+		for _, seed := range p.Seeds {
+			w, err := levelWorld(p, level, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			w.Run(p.Duration)
+			availW.Add(w.Ledger.FleetAvailability())
+			downW.Add(w.Ledger.DownLinkHours())
+			degW.Add(w.Ledger.DegradedLinkHours())
+		}
+		xs = append(xs, float64(level))
+		av = append(av, availW.Mean())
+		dlh = append(dlh, downW.Mean())
+		tab.AddRow(level.String(), availW.Mean(), downW.Mean(), degW.Mean())
+	}
+	fig.Add("availability", xs, av)
+	fig.Add("down-link-hours", xs, normalizeTo1(dlh))
+	fig.Notes = append(fig.Notes, "down-link-hours series normalized to its maximum")
+	return fig, tab, nil
+}
+
+func normalizeTo1(v []float64) []float64 {
+	var max float64
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	out := make([]float64, len(v))
+	if max == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / max
+	}
+	return out
+}
+
+// F3Cascades regenerates Figure F3: cascading failures during repair under
+// three policies — human hands (rough touch, no coordination), robots
+// without impact-aware pre-draining, and robots with it (§2's repair
+// amplification argument).
+func F3Cascades(p RepairParams) (*metrics.Table, *metrics.Figure, error) {
+	type policy struct {
+		name  string
+		level core.Level
+		drain bool
+	}
+	policies := []policy{
+		{"human (L0)", core.L0, false},
+		{"robot, no pre-drain", core.L3, false},
+		{"robot + pre-drain", core.L3, true},
+	}
+	tab := &metrics.Table{
+		Title: "F3 data: collateral damage during repairs",
+		Cols: []string{"policy", "repairs", "transient cascades /100", "permanent cascades /100",
+			"loaded-link disturbances /100"},
+		Notes: []string{"loaded-link disturbances: flap episodes hitting links that were carrying traffic (not drained)"},
+	}
+	fig := &metrics.Figure{
+		Title:  "F3: cascade amplification by repair policy",
+		XLabel: "policy index (0=human,1=robot,2=robot+drain)",
+		YLabel: "events per 100 repairs",
+	}
+	var xs, transient, impacted []float64
+	for i, pol := range policies {
+		var repairs, trans, perm, loaded int
+		for _, seed := range p.Seeds {
+			w, err := Build(Options{
+				Seed:       seed,
+				BuildNet:   p.net(),
+				Level:      pol.level,
+				Techs:      2,
+				Robots:     pol.level >= core.L1,
+				FaultScale: p.FaultScale,
+				MutateCore: func(c *core.Config) { c.ImpactAware = pol.drain },
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			// Count disturbances that hit undrained (loaded) links.
+			w.Inj.Subscribe(&loadedFlapCounter{w: w, count: &loaded})
+			w.Run(p.Duration)
+			st := w.Inj.Stats()
+			repairs += st.RepairsAttempted
+			trans += st.CascadeTransients
+			perm += st.CascadePermanents
+		}
+		if repairs == 0 {
+			repairs = 1
+		}
+		per100 := func(n int) float64 { return 100 * float64(n) / float64(repairs) }
+		tab.AddRow(pol.name, repairs, per100(trans), per100(perm), per100(loaded))
+		xs = append(xs, float64(i))
+		transient = append(transient, per100(trans))
+		impacted = append(impacted, per100(loaded))
+	}
+	fig.Add("transient cascades", xs, transient)
+	fig.Add("loaded-link disturbances", xs, impacted)
+	return tab, fig, nil
+}
+
+// loadedFlapCounter counts flap episodes that hit links still carrying
+// traffic (i.e. not drained) — the service-impacting subset of cascades.
+type loadedFlapCounter struct {
+	w     *World
+	count *int
+}
+
+func (lc *loadedFlapCounter) LinkStateChanged(*topology.Link, faults.Health, faults.Health, sim.Time) {
+}
+func (lc *loadedFlapCounter) LinkFlapped(l *topology.Link, _ sim.Time, _ float64, _ sim.Time) {
+	if !lc.w.Router.Drained(l.ID) {
+		*lc.count++
+	}
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+)
+
+// Event is a scheduled callback in the simulation. Events are created by
+// Engine.Schedule and friends and may be cancelled until they fire.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-break: schedule order within the same instant
+	name   string
+	fn     func()
+	index  int // heap index, -1 when not queued
+	engine *Engine
+}
+
+// At returns the instant the event is (or was) scheduled to fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Name returns the diagnostic name given at scheduling time.
+func (ev *Event) Name() string { return ev.name }
+
+// Pending reports whether the event is still queued to fire.
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+// Cancel removes the event from the queue. It returns true if the event was
+// still pending, false if it had already fired or been cancelled.
+func (ev *Event) Cancel() bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&ev.engine.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// eventQueue is a min-heap ordered by (at, seq) so that simultaneous events
+// fire in the order they were scheduled — the property that makes runs
+// deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Tracer receives a notification immediately before each event fires.
+// It is intended for debugging and for building event-trace golden tests.
+type Tracer func(at Time, name string)
+
+// Engine is a deterministic discrete-event simulation engine. It is not safe
+// for concurrent use: all model code runs single-threaded inside Run, which
+// is what makes simulated years cheap and runs reproducible.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	seed   uint64
+	rngs   map[string]*Stream
+	tracer Tracer
+	fired  uint64
+}
+
+// NewEngine returns an engine at the simulation epoch whose named RNG
+// streams are derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{seed: seed, rngs: make(map[string]*Stream)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the root seed the engine was created with.
+func (e *Engine) Seed() uint64 { return e.seed }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetTracer installs fn to observe every fired event; nil disables tracing.
+func (e *Engine) SetTracer(fn Tracer) { e.tracer = fn }
+
+// Schedule queues fn to run at instant at. Scheduling in the past (before
+// Now) panics: it is always a model bug, and silently reordering time would
+// corrupt every downstream statistic. name is used only for diagnostics.
+func (e *Engine) Schedule(at Time, name string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, name: name, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current instant. Negative d panics.
+func (e *Engine) After(d Time, name string, fn func()) *Event {
+	return e.Schedule(e.now+d, name, fn)
+}
+
+// Ticker repeatedly reschedules a callback at a fixed interval until stopped.
+type Ticker struct {
+	ev      *Event
+	stopped bool
+}
+
+// Stop cancels future ticks. It is safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Every schedules fn to run every interval, first at start. The callback
+// receives the tick instant. interval must be positive.
+func (e *Engine) Every(start Time, interval Time, name string, fn func(Time)) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: ticker %q with non-positive interval %v", name, interval))
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		at := e.now
+		if !t.stopped {
+			t.ev = e.Schedule(at+interval, name, tick)
+		}
+		fn(at)
+	}
+	t.ev = e.Schedule(start, name, tick)
+	return t
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// instant. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	e.fired++
+	if e.tracer != nil {
+		e.tracer(ev.at, ev.name)
+	}
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// would fire strictly after deadline, then advances the clock to deadline if
+// the deadline is later than the last event fired.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if deadline != Forever && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() { e.RunUntil(Forever) }
+
+// RNG returns the named pseudo-random stream, creating it on first use.
+// Streams are independent of one another and of scheduling order: the stream
+// named "faults/flap" yields the same sequence regardless of how many draws
+// other streams have made, which keeps subsystems statistically decoupled
+// across configuration changes.
+func (e *Engine) RNG(name string) *Stream {
+	if s, ok := e.rngs[name]; ok {
+		return s
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	derived := h.Sum64()
+	s := &Stream{Rand: rand.New(rand.NewPCG(e.seed, derived)), name: name}
+	e.rngs[name] = s
+	return s
+}

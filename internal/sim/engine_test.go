@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{5 * Second, 1 * Second, 3 * Second, 2 * Second, 4 * Second} {
+		at := at
+		e.Schedule(at, "ev", func() { got = append(got, at) })
+	}
+	e.Run()
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if e.Now() != 5*Second {
+		t.Errorf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(Second, "same-instant", func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(2*Second, "later", func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(Second, "past", func() {})
+}
+
+func TestEventCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(Second, "cancel-me", func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event not pending after scheduling")
+	}
+	if !ev.Cancel() {
+		t.Fatal("first Cancel returned false")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", e.Fired())
+	}
+}
+
+func TestEventCancelMiddleOfQueue(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	a := e.Schedule(1*Second, "a", func() { got = append(got, "a") })
+	b := e.Schedule(2*Second, "b", func() { got = append(got, "b") })
+	c := e.Schedule(3*Second, "c", func() { got = append(got, "c") })
+	_ = a
+	b.Cancel()
+	e.Run()
+	if fmt.Sprint(got) != "[a c]" {
+		t.Fatalf("got %v, want [a c]", got)
+	}
+	_ = c
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.Schedule(10*Second, "outer", func() {
+		e.After(5*Second, "inner", func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15*Second {
+		t.Fatalf("inner fired at %v, want 15s", at)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		at := Time(i) * Second
+		e.Schedule(at, "t", func() { fired = append(fired, at) })
+	}
+	e.RunUntil(5 * Second)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d, want 5", len(fired))
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	// Deadline with no events still advances the clock.
+	e2 := NewEngine(1)
+	e2.RunUntil(Hour)
+	if e2.Now() != Hour {
+		t.Fatalf("empty RunUntil: Now = %v, want 1h", e2.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []Time
+	var tk *Ticker
+	tk = e.Every(0, Minute, "tick", func(at Time) {
+		ticks = append(ticks, at)
+		if len(ticks) == 5 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(Hour)
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != Time(i)*Minute {
+			t.Fatalf("tick %d at %v, want %v", i, at, Time(i)*Minute)
+		}
+	}
+}
+
+func TestTickerStopBeforeFirstTick(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	tk := e.Every(Minute, Minute, "tick", func(Time) { n++ })
+	tk.Stop()
+	e.RunUntil(Hour)
+	if n != 0 {
+		t.Fatalf("stopped ticker fired %d times", n)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	trace := func(seed uint64) []string {
+		e := NewEngine(seed)
+		var out []string
+		e.SetTracer(func(at Time, name string) {
+			out = append(out, fmt.Sprintf("%v %s", at, name))
+		})
+		rng := e.RNG("load")
+		var spawn func()
+		spawn = func() {
+			if e.Now() > 10*Minute {
+				return
+			}
+			d := Time(rng.Exponential(30) * float64(Second))
+			e.After(d, "work", spawn)
+			e.After(d/2+Second, "half", func() {})
+		}
+		e.Schedule(0, "start", spawn)
+		e.RunUntil(20 * Minute)
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := trace(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestRNGStreamsIndependentAndStable(t *testing.T) {
+	e1 := NewEngine(7)
+	a := e1.RNG("alpha")
+	_ = a.Float64() // consume from alpha only
+	b1 := e1.RNG("beta").Float64()
+
+	e2 := NewEngine(7)
+	b2 := e2.RNG("beta").Float64() // no alpha draws at all
+	if b1 != b2 {
+		t.Fatal("stream beta affected by draws on stream alpha")
+	}
+	if e1.RNG("alpha") != a {
+		t.Fatal("RNG did not cache stream by name")
+	}
+}
+
+// Property: whatever order events are scheduled in, they fire sorted by
+// (time, scheduling order).
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine(1)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i, off := range offsets {
+			at := Time(off) * Millisecond
+			i := i
+			e.Schedule(at, "p", func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the complement to
+// fire, still in order.
+func TestCancelSubsetProperty(t *testing.T) {
+	f := func(offsets []uint16, mask []bool) bool {
+		e := NewEngine(1)
+		firedCount := 0
+		events := make([]*Event, len(offsets))
+		for i, off := range offsets {
+			events[i] = e.Schedule(Time(off)*Millisecond, "p", func() { firedCount++ })
+		}
+		cancelled := 0
+		for i, ev := range events {
+			if i < len(mask) && mask[i] {
+				if ev.Cancel() {
+					cancelled++
+				}
+			}
+		}
+		e.Run()
+		return firedCount == len(offsets)-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "00:00:00.000"},
+		{90 * Minute, "01:30:00.000"},
+		{3*Day + 7*Hour + 15*Minute + 2*Second + 250*Millisecond, "3d 07:15:02.250"},
+		{-Hour, "-01:00:00.000"},
+		{Forever, "forever"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := At(0).Add(3 * 3600 * 1e9)
+	if a != 3*Hour {
+		t.Fatalf("Add: got %v", a)
+	}
+	if d := (5 * Hour).Sub(2 * Hour); d.Hours() != 3 {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if !(Hour).Before(2 * Hour) {
+		t.Fatal("Before failed")
+	}
+	if !(2 * Hour).After(Hour) {
+		t.Fatal("After failed")
+	}
+	if (36 * Hour).Days() != 1.5 {
+		t.Fatalf("Days: got %v", (36 * Hour).Days())
+	}
+	if (90 * Second).Seconds() != 90 {
+		t.Fatalf("Seconds: got %v", (90 * Second).Seconds())
+	}
+	if (90 * Minute).Hours() != 1.5 {
+		t.Fatalf("Hours: got %v", (90 * Minute).Hours())
+	}
+}
+
+func TestNegativeIntervalTickerPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive ticker interval did not panic")
+		}
+	}()
+	e.Every(0, 0, "bad", func(Time) {})
+}
+
+func newTestStream(seed uint64) *Stream {
+	return &Stream{Rand: rand.New(rand.NewPCG(seed, 0xfeed)), name: "test"}
+}
+
+func BenchmarkEngineScheduleAndFire(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000)*Microsecond, "bench", func() {})
+		if e.Pending() > 10000 {
+			e.RunUntil(e.Now() + Millisecond)
+		}
+	}
+	e.Run()
+}

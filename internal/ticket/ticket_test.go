@@ -1,0 +1,220 @@
+package ticket
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func setup(t *testing.T) (*sim.Engine, *topology.Network, *Store) {
+	t.Helper()
+	n, err := topology.NewLeafSpine(topology.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 1, Uplinks: 1,
+		FabricGbps: 400, HostGbps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine(1)
+	return eng, n, NewStore(eng, DefaultConfig())
+}
+
+func TestOpenDedup(t *testing.T) {
+	eng, n, s := setup(t)
+	l := n.SwitchLinks()[0]
+	t1, created := s.Open(l, Reactive, faults.Flapping, P1)
+	if !created {
+		t.Fatal("first open not created")
+	}
+	eng.RunUntil(sim.Minute)
+	t2, created := s.Open(l, Reactive, faults.Down, P0)
+	if created {
+		t.Fatal("second open created a new ticket")
+	}
+	if t2 != t1 {
+		t.Fatal("dedup returned different ticket")
+	}
+	if t1.Dedups != 1 {
+		t.Fatalf("dedups = %d", t1.Dedups)
+	}
+	if t1.Priority != P0 || t1.Symptom != faults.Down {
+		t.Fatal("outage did not upgrade ticket priority")
+	}
+	// A lower-severity alert must not downgrade it back.
+	s.Open(l, Reactive, faults.Flapping, P1)
+	if t1.Priority != P0 {
+		t.Fatal("priority downgraded")
+	}
+}
+
+func TestLifecycleAndServiceWindow(t *testing.T) {
+	eng, n, s := setup(t)
+	l := n.SwitchLinks()[0]
+	tk, _ := s.Open(l, Reactive, faults.Down, P0)
+	eng.RunUntil(10 * sim.Minute)
+	s.Assign(tk, "robot-1")
+	if tk.Status != Assigned || tk.Assignee != "robot-1" {
+		t.Fatal("assign failed")
+	}
+	eng.RunUntil(20 * sim.Minute)
+	s.Start(tk)
+	s.Record(tk, Attempt{Action: faults.Reseat, Fixed: true, At: eng.Now(), Actor: "robot-1"})
+	eng.RunUntil(25 * sim.Minute)
+	s.Resolve(tk)
+	if tk.ServiceWindow() != 25*sim.Minute {
+		t.Fatalf("service window = %v", tk.ServiceWindow())
+	}
+	if !tk.MetSLA() {
+		t.Fatal("25min P0 repair should meet 4h SLA")
+	}
+	if s.OpenFor(l.ID) != nil {
+		t.Fatal("resolved ticket still open")
+	}
+}
+
+func TestRepeatEscalation(t *testing.T) {
+	eng, n, s := setup(t)
+	l := n.SwitchLinks()[0]
+	t1, _ := s.Open(l, Reactive, faults.Flapping, P1)
+	s.Start(t1)
+	s.Record(t1, Attempt{Action: faults.Reseat, Fixed: true, At: eng.Now()})
+	s.Resolve(t1)
+
+	// Re-ticket within the window: starts at the rung after reseat.
+	eng.RunUntil(3 * sim.Day)
+	t2, created := s.Open(l, Reactive, faults.Flapping, P1)
+	if !created {
+		t.Fatal("expected new ticket")
+	}
+	if t2.RepeatOf != t1.ID {
+		t.Fatalf("RepeatOf = %d", t2.RepeatOf)
+	}
+	if t2.StartStage != 1 { // Clean
+		t.Fatalf("StartStage = %d, want 1 (clean)", t2.StartStage)
+	}
+	s.Start(t2)
+	s.Record(t2, Attempt{Action: faults.Clean, Fixed: true, At: eng.Now()})
+	s.Resolve(t2)
+
+	// Third repeat escalates further.
+	eng.RunUntil(eng.Now() + sim.Day)
+	t3, _ := s.Open(l, Reactive, faults.Down, P0)
+	if t3.StartStage != 2 { // ReplaceXcvr
+		t.Fatalf("third StartStage = %d, want 2", t3.StartStage)
+	}
+	s.Start(t3)
+	s.Record(t3, Attempt{Action: faults.ReplaceSwitchPort, Fixed: true, At: eng.Now()})
+	s.Resolve(t3)
+
+	// Resolving at the last rung clamps the next stage.
+	eng.RunUntil(eng.Now() + sim.Day)
+	t4, _ := s.Open(l, Reactive, faults.Down, P0)
+	if t4.StartStage != len(faults.AllActions)-1 {
+		t.Fatalf("clamped StartStage = %d", t4.StartStage)
+	}
+}
+
+func TestRepeatWindowExpires(t *testing.T) {
+	eng, n, s := setup(t)
+	l := n.SwitchLinks()[0]
+	t1, _ := s.Open(l, Reactive, faults.Flapping, P1)
+	s.Start(t1)
+	s.Record(t1, Attempt{Action: faults.Reseat, Fixed: true, At: eng.Now()})
+	s.Resolve(t1)
+	eng.RunUntil(30 * sim.Day) // beyond the 14d window
+	t2, _ := s.Open(l, Reactive, faults.Flapping, P1)
+	if t2.RepeatOf != -1 || t2.StartStage != 0 {
+		t.Fatalf("stale repeat detected: %+v", t2)
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	eng, n, s := setup(t)
+	links := n.SwitchLinks()
+	a, _ := s.Open(links[0], Proactive, faults.Healthy, P2)
+	eng.RunUntil(sim.Minute)
+	b, _ := s.Open(links[1], Reactive, faults.Down, P0)
+	eng.RunUntil(2 * sim.Minute)
+	c, _ := s.Open(links[2], Reactive, faults.Flapping, P1)
+	q := s.OpenQueue()
+	if len(q) != 3 {
+		t.Fatalf("queue len %d", len(q))
+	}
+	if q[0] != b || q[1] != c || q[2] != a {
+		t.Fatalf("queue order: %v %v %v", q[0], q[1], q[2])
+	}
+	// Assigned tickets leave the dispatch queue.
+	s.Assign(b, "x")
+	if len(s.OpenQueue()) != 2 {
+		t.Fatal("assigned ticket still in queue")
+	}
+}
+
+func TestCancelAndSummary(t *testing.T) {
+	eng, n, s := setup(t)
+	links := n.SwitchLinks()
+	t1, _ := s.Open(links[0], Reactive, faults.Down, P0)
+	s.Start(t1)
+	s.Record(t1, Attempt{Action: faults.Reseat, Fixed: false, At: eng.Now(), Note: "no fix"})
+	s.Record(t1, Attempt{Action: faults.Clean, Fixed: true, At: eng.Now()})
+	eng.RunUntil(sim.Hour)
+	s.Resolve(t1)
+
+	t2, _ := s.Open(links[1], Predictive, faults.Healthy, P2)
+	s.Cancel(t2)
+	if s.OpenFor(links[1].ID) != nil {
+		t.Fatal("cancelled ticket still open")
+	}
+
+	sum := s.Summarize()
+	if sum.Total != 2 || sum.Resolved != 1 || sum.Cancelled != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.MeanWindow != sim.Hour || sum.MaxWindow != sim.Hour {
+		t.Fatalf("windows %v/%v", sum.MeanWindow, sum.MaxWindow)
+	}
+	if sum.AttemptsPerResolved != 2 {
+		t.Fatalf("attempts/resolved = %g", sum.AttemptsPerResolved)
+	}
+	if sum.SLAMet != 1 {
+		t.Fatalf("SLAMet = %d", sum.SLAMet)
+	}
+	if sum.ByKind[Reactive] != 1 || sum.ByKind[Predictive] != 1 {
+		t.Fatalf("by kind: %v", sum.ByKind)
+	}
+	if len(s.All()) != 2 {
+		t.Fatal("All() wrong length")
+	}
+}
+
+func TestSLATargets(t *testing.T) {
+	if P0.SLA() >= P1.SLA() || P1.SLA() >= P2.SLA() {
+		t.Fatal("SLA targets not monotone")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Reactive.String() != "reactive" || Kind(9).String() == "" {
+		t.Error("kind names")
+	}
+	if P0.String() != "P0" {
+		t.Error("priority name")
+	}
+	if Open.String() != "open" || Status(9).String() == "" {
+		t.Error("status names")
+	}
+	_, n, s := setupForString(t)
+	tk, _ := s.Open(n.SwitchLinks()[0], Reactive, faults.Down, P0)
+	if tk.String() == "" {
+		t.Error("ticket string")
+	}
+	if tk.ServiceWindow() != 0 {
+		t.Error("unresolved service window should be 0")
+	}
+}
+
+func setupForString(t *testing.T) (*sim.Engine, *topology.Network, *Store) {
+	return setup(t)
+}

@@ -1,0 +1,258 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Face is the side of a rack a device's ports present on.
+type Face uint8
+
+// Rack faces.
+const (
+	Front Face = iota
+	Back
+)
+
+// String returns "front" or "back".
+func (f Face) String() string {
+	if f == Front {
+		return "front"
+	}
+	return "back"
+}
+
+// Location places a device in the hall: row, rack slot within the row, rack
+// unit within the rack, and which face its ports are on.
+type Location struct {
+	Row  int
+	Rack int // slot within the row
+	RU   int // bottom rack-unit of the device
+	Face Face
+}
+
+// String returns "rR/sS/uU".
+func (l Location) String() string { return fmt.Sprintf("r%d/s%d/u%d", l.Row, l.Rack, l.RU) }
+
+// Point is a position in hall coordinates, in meters: X runs along a row,
+// Y is height above the floor, Z runs across rows.
+type Point struct{ X, Y, Z float64 }
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// LayoutSpec holds the physical dimensions of the hall. The defaults are
+// ordinary colo geometry; experiments only depend on them through relative
+// distances, so precision is not critical.
+type LayoutSpec struct {
+	RackWidthM  float64 // rack pitch along a row
+	RUHeightM   float64 // height of one rack unit
+	RackUnits   int     // rack height in RU (the paper notes racks up to 52U)
+	AislePitchM float64 // row-to-row pitch
+	TrayHeightM float64 // overhead cable tray height
+	PortPitchM  float64 // horizontal spacing of ports on a panel
+	PortsPerRow int     // ports per panel row on a switch faceplate
+	SlackM      float64 // service-loop slack added to every cable run
+}
+
+// DefaultLayoutSpec returns ordinary datacenter-hall geometry.
+func DefaultLayoutSpec() LayoutSpec {
+	return LayoutSpec{
+		RackWidthM:  0.6,
+		RUHeightM:   0.0445,
+		RackUnits:   48,
+		AislePitchM: 2.4,
+		TrayHeightM: 2.6,
+		PortPitchM:  0.018,
+		PortsPerRow: 16,
+		SlackM:      1.0,
+	}
+}
+
+// SegmentID identifies one overhead tray segment. Row trays have
+// Cross == false and run along a row; the cross tray joins rows at slot 0.
+type SegmentID struct {
+	Row   int
+	Slot  int
+	Cross bool
+}
+
+// String returns a compact segment label.
+func (s SegmentID) String() string {
+	if s.Cross {
+		return fmt.Sprintf("xtray/r%d", s.Row)
+	}
+	return fmt.Sprintf("tray/r%d/s%d", s.Row, s.Slot)
+}
+
+// Layout is the physical plant: geometry plus the occupancy of each
+// overhead tray segment, which is what couples physically adjacent cables
+// for the cascading-failure model.
+type Layout struct {
+	Spec LayoutSpec
+
+	segOccupancy map[SegmentID][]LinkID
+	runs         map[LinkID][]SegmentID
+}
+
+// NewLayout returns an empty layout with the given dimensions.
+func NewLayout(spec LayoutSpec) *Layout {
+	return &Layout{
+		Spec:         spec,
+		segOccupancy: make(map[SegmentID][]LinkID),
+		runs:         make(map[LinkID][]SegmentID),
+	}
+}
+
+// PortPoint returns the hall coordinates of a port on its device faceplate.
+func (ly *Layout) PortPoint(p *Port) Point {
+	loc := p.Device.Loc
+	col := p.Index % ly.Spec.PortsPerRow
+	row := p.Index / ly.Spec.PortsPerRow
+	return Point{
+		X: float64(loc.Rack)*ly.Spec.RackWidthM + 0.05 + float64(col)*ly.Spec.PortPitchM,
+		Y: float64(loc.RU)*ly.Spec.RUHeightM + float64(row)*ly.Spec.RUHeightM*0.5,
+		Z: float64(loc.Row) * ly.Spec.AislePitchM,
+	}
+}
+
+// CableLength estimates the installed cable length between two ports:
+// within a rack it is the vertical separation plus slack, otherwise the run
+// goes up to the tray, along the row (and across rows if needed), and back
+// down.
+func (ly *Layout) CableLength(a, b *Port) float64 {
+	la, lb := a.Device.Loc, b.Device.Loc
+	pa, pb := ly.PortPoint(a), ly.PortPoint(b)
+	if la.Row == lb.Row && la.Rack == lb.Rack {
+		return math.Abs(pa.Y-pb.Y) + 0.3 + ly.Spec.SlackM
+	}
+	up := (ly.Spec.TrayHeightM - pa.Y) + (ly.Spec.TrayHeightM - pb.Y)
+	along := math.Abs(pa.X - pb.X)
+	cross := 0.0
+	if la.Row != lb.Row {
+		// Route via the cross tray at slot 0 of each row.
+		cross = math.Abs(pa.Z-pb.Z) + pa.X + pb.X - 2*along // conservative reroute
+		if cross < math.Abs(pa.Z-pb.Z) {
+			cross = math.Abs(pa.Z - pb.Z)
+		}
+		along = pa.X + pb.X
+	}
+	return up + along + cross + ly.Spec.SlackM
+}
+
+// registerRun computes the tray segments a link's cable occupies and
+// records them in the occupancy index and on the cable itself.
+func (ly *Layout) registerRun(l *Link) {
+	la, lb := l.A.Device.Loc, l.B.Device.Loc
+	var segs []SegmentID
+	if la.Row == lb.Row && la.Rack == lb.Rack {
+		// In-rack cable: occupies no overhead tray.
+		ly.runs[l.ID] = nil
+		return
+	}
+	if la.Row == lb.Row {
+		lo, hi := la.Rack, lb.Rack
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for s := lo; s <= hi; s++ {
+			segs = append(segs, SegmentID{Row: la.Row, Slot: s})
+		}
+	} else {
+		// Down each row to slot 0, then across the cross tray.
+		for s := 0; s <= la.Rack; s++ {
+			segs = append(segs, SegmentID{Row: la.Row, Slot: s})
+		}
+		for s := 0; s <= lb.Rack; s++ {
+			segs = append(segs, SegmentID{Row: lb.Row, Slot: s})
+		}
+		lo, hi := la.Row, lb.Row
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for r := lo; r <= hi; r++ {
+			segs = append(segs, SegmentID{Row: r, Cross: true})
+		}
+	}
+	for _, s := range segs {
+		ly.segOccupancy[s] = append(ly.segOccupancy[s], l.ID)
+	}
+	ly.runs[l.ID] = segs
+	l.Cable.TraySegments = segs
+}
+
+// TrayOccupancy returns the number of cables in the fullest tray segment a
+// link traverses — a congestion proxy for how hard the cable is to extract.
+func (ly *Layout) TrayOccupancy(l *Link) int {
+	max := 0
+	for _, s := range ly.runs[l.ID] {
+		if n := len(ly.segOccupancy[s]); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// TravelDistanceM returns the aisle walking/driving distance between two
+// locations: along the row to the cross aisle and across, Manhattan-style.
+func (ly *Layout) TravelDistanceM(from, to Location) float64 {
+	dx := math.Abs(float64(from.Rack-to.Rack)) * ly.Spec.RackWidthM
+	if from.Row == to.Row {
+		return dx
+	}
+	// Travel via the cross aisle at slot 0.
+	return float64(from.Rack+to.Rack)*ly.Spec.RackWidthM +
+		math.Abs(float64(from.Row-to.Row))*ly.Spec.AislePitchM
+}
+
+// --- Network-level physical queries -------------------------------------
+
+// PortsNear returns the connected ports on the same rack face as p within
+// radius meters (panel distance), excluding p itself. These are the ports
+// whose cables a manipulation at p risks disturbing.
+func (n *Network) PortsNear(p *Port, radiusM float64) []*Port {
+	pp := n.Layout.PortPoint(p)
+	loc := p.Device.Loc
+	var out []*Port
+	for _, d := range n.Devices {
+		if d.Loc.Row != loc.Row || d.Loc.Rack != loc.Rack || d.Loc.Face != loc.Face {
+			continue
+		}
+		for _, q := range d.Ports {
+			if q == p || q.Link == nil {
+				continue
+			}
+			if n.Layout.PortPoint(q).Dist(pp) <= radiusM {
+				out = append(out, q)
+			}
+		}
+	}
+	return out
+}
+
+// OcclusionAt returns the number of connected ports within 10 cm of p —
+// the cabling-clutter score that drives perception difficulty (§3.3.3) and
+// touch-cascade fan-out.
+func (n *Network) OcclusionAt(p *Port) int {
+	return len(n.PortsNear(p, 0.10))
+}
+
+// LinksSharingTray returns the links (other than l) whose cables share at
+// least one overhead tray segment with l, deduplicated, in LinkID order of
+// first encounter. Moving l's cable can disturb these.
+func (n *Network) LinksSharingTray(l *Link) []*Link {
+	seen := map[LinkID]bool{l.ID: true}
+	var out []*Link
+	for _, s := range n.Layout.runs[l.ID] {
+		for _, id := range n.Layout.segOccupancy[s] {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, n.Links[id])
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package vision
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func TestRecognitionDegradesWithDiversityAndOcclusion(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := DefaultConfig()
+
+	single := New(eng, cfg, 1)
+	diverse := New(eng, cfg, 32)
+	if a, b := single.RecognitionAccuracy(0), diverse.RecognitionAccuracy(0); b >= a {
+		t.Fatalf("diversity did not hurt: %v vs %v", a, b)
+	}
+	clear, cluttered := diverse.RecognitionAccuracy(0), diverse.RecognitionAccuracy(10)
+	if cluttered >= clear {
+		t.Fatalf("occlusion did not hurt: %v vs %v", clear, cluttered)
+	}
+	// Floor holds under absurd conditions.
+	worst := New(eng, cfg, 1<<20)
+	if worst.RecognitionAccuracy(1000) < cfg.MinAccuracy {
+		t.Fatal("accuracy below floor")
+	}
+	// Zero diversity is clamped to one.
+	if New(eng, cfg, 0).FleetDiversity != 1 {
+		t.Fatal("diversity clamp")
+	}
+}
+
+func TestIdentifyFrequencyMatchesAccuracy(t *testing.T) {
+	eng := sim.NewEngine(2)
+	s := New(eng, DefaultConfig(), 32)
+	var port topology.Port
+	port.Device = &topology.Device{Name: "sw"}
+	acc := s.RecognitionAccuracy(5)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if s.Identify(&port, 5) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < acc-0.02 || got > acc+0.02 {
+		t.Fatalf("identify rate %v, accuracy %v", got, acc)
+	}
+}
+
+func TestInspectDirtyEndFaceFails(t *testing.T) {
+	eng := sim.NewEngine(3)
+	s := New(eng, DefaultConfig(), 8)
+	cable := &topology.Cable{Class: topology.FiberMPO, Cores: 8, APC: true}
+	rep := s.InspectEndFace(cable, 0.8)
+	if rep.Pass {
+		t.Fatal("grossly dirty end-face passed inspection")
+	}
+	if len(rep.Cores) != 8 {
+		t.Fatalf("cores = %d", len(rep.Cores))
+	}
+	if rep.String() == "" {
+		t.Error("report string")
+	}
+}
+
+func TestInspectCleanEndFaceMostlyPasses(t *testing.T) {
+	eng := sim.NewEngine(4)
+	s := New(eng, DefaultConfig(), 8)
+	cable := &topology.Cable{Class: topology.FiberLC, Cores: 1}
+	pass := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		if s.InspectEndFace(cable, 0).Pass {
+			pass++
+		}
+	}
+	if pass < trials*95/100 {
+		t.Fatalf("clean single-core pass rate %d/%d", pass, trials)
+	}
+	if pass == trials {
+		t.Fatal("no false positives at all over 1000 noisy inspections (suspicious)")
+	}
+}
+
+func TestInspectionTimeMeetsPaperClaim(t *testing.T) {
+	eng := sim.NewEngine(5)
+	s := New(eng, DefaultConfig(), 8)
+	cable := &topology.Cable{Class: topology.FiberMPO, Cores: 8, APC: true}
+	var total sim.Time
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		total += s.InspectEndFace(cable, 0.1).Duration
+	}
+	mean := total / trials
+	// Paper §3.3.2: 8-core end-face inspection in under 30 seconds.
+	if mean >= 30*sim.Second {
+		t.Fatalf("mean 8-core inspection %v, paper claims <30s", mean)
+	}
+	if mean <= 10*sim.Second {
+		t.Fatalf("mean inspection %v implausibly fast", mean)
+	}
+}
+
+func TestAPCInspectionSlower(t *testing.T) {
+	eng := sim.NewEngine(6)
+	s := New(eng, DefaultConfig(), 8)
+	flat := &topology.Cable{Class: topology.FiberMPO, Cores: 8}
+	apc := &topology.Cable{Class: topology.FiberMPO, Cores: 8, APC: true}
+	var tFlat, tAPC sim.Time
+	for i := 0; i < 300; i++ {
+		tFlat += s.InspectEndFace(flat, 0).Duration
+		tAPC += s.InspectEndFace(apc, 0).Duration
+	}
+	if tAPC <= tFlat {
+		t.Fatalf("APC not slower: %v vs %v", tAPC, tFlat)
+	}
+}
+
+func TestZeroCoreCableInspectsOneCore(t *testing.T) {
+	eng := sim.NewEngine(7)
+	s := New(eng, DefaultConfig(), 1)
+	rep := s.InspectEndFace(&topology.Cable{Class: topology.DAC}, 0)
+	if len(rep.Cores) != 1 {
+		t.Fatalf("cores = %d", len(rep.Cores))
+	}
+}

@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func echoServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", func(reqType string, payload json.RawMessage) (any, error) {
+		switch reqType {
+		case "echo":
+			var v map[string]any
+			if err := json.Unmarshal(payload, &v); err != nil {
+				return nil, err
+			}
+			return v, nil
+		case "fail":
+			return nil, errors.New("deliberate failure")
+		case "nilresp":
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("unknown type %q", reqType)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := echoServer(t)
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var resp map[string]any
+	if err := c.Call(context.Background(), "echo", map[string]any{"x": 42.0, "s": "hi"}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["x"] != 42.0 || resp["s"] != "hi" {
+		t.Fatalf("resp = %v", resp)
+	}
+}
+
+func TestSequentialCallsOnOneConnection(t *testing.T) {
+	s := echoServer(t)
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		var resp map[string]any
+		if err := c.Call(context.Background(), "echo", map[string]any{"i": float64(i)}, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp["i"] != float64(i) {
+			t.Fatalf("i=%d got %v", i, resp["i"])
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := echoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(context.Background(), s.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				var resp map[string]any
+				if err := c.Call(context.Background(), "echo", map[string]any{"g": float64(g)}, &resp); err != nil {
+					errs <- err
+					return
+				}
+				if resp["g"] != float64(g) {
+					errs <- fmt.Errorf("goroutine %d got %v", g, resp["g"])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCallsOneClient(t *testing.T) {
+	s := echoServer(t)
+	c, err := Dial(context.Background(), s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var resp map[string]any
+			if err := c.Call(context.Background(), "echo", map[string]any{"g": float64(g)}, &resp); err != nil {
+				errs <- err
+				return
+			}
+			if resp["g"] != float64(g) {
+				errs <- fmt.Errorf("cross-talk: goroutine %d got %v", g, resp["g"])
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	s := echoServer(t)
+	c, _ := Dial(context.Background(), s.Addr())
+	defer c.Close()
+	err := c.Call(context.Background(), "fail", struct{}{}, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(re.Error(), "deliberate failure") {
+		t.Fatalf("message: %v", re)
+	}
+	// The connection survives an application error.
+	var resp map[string]any
+	if err := c.Call(context.Background(), "echo", map[string]any{"ok": true}, &resp); err != nil {
+		t.Fatalf("connection dead after remote error: %v", err)
+	}
+}
+
+func TestNilResponse(t *testing.T) {
+	s := echoServer(t)
+	c, _ := Dial(context.Background(), s.Addr())
+	defer c.Close()
+	if err := c.Call(context.Background(), "nilresp", struct{}{}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Envelope{V: Version, ID: 7, Type: "t", Payload: json.RawMessage(`{"a":1}`)}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Type != "t" || string(out.Payload) != `{"a":1}` {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	big := &Envelope{V: Version, Payload: json.RawMessage(`"` + strings.Repeat("x", MaxFrame) + `"`)}
+	if err := WriteFrame(&buf, big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write err = %v", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	data, _ := json.Marshal(&Envelope{V: 99, ID: 1, Type: "x"})
+	hdr := []byte{0, 0, 0, byte(len(data))}
+	buf.Write(hdr)
+	buf.Write(data)
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	var buf bytes.Buffer
+	data := []byte("{not json")
+	buf.Write([]byte{0, 0, 0, byte(len(data))})
+	buf.Write(data)
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("malformed frame accepted")
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	// A server that never responds: handler blocks.
+	block := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", func(string, json.RawMessage) (any, error) {
+		<-block
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(block); s.Close() }()
+	c, _ := Dial(context.Background(), s.Addr())
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.Call(ctx, "echo", struct{}{}, nil)
+	if err == nil {
+		t.Fatal("call did not time out")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+}
+
+func TestServerCloseIdempotentAndDropsClients(t *testing.T) {
+	s := echoServer(t)
+	c, _ := Dial(context.Background(), s.Addr())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	err := c.Call(context.Background(), "echo", map[string]any{}, nil)
+	if err == nil {
+		t.Fatal("call succeeded after server close")
+	}
+}
+
+func TestUnknownTypeReturnsError(t *testing.T) {
+	s := echoServer(t)
+	c, _ := Dial(context.Background(), s.Addr())
+	defer c.Close()
+	err := c.Call(context.Background(), "nope", struct{}{}, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: any envelope with a valid version survives a frame round trip
+// bit-for-bit.
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(id uint64, reqType string, payload []byte, errMsg string) bool {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		// Payload must be valid JSON to survive the envelope's RawMessage
+		// (an envelope always carries marshalled JSON in practice).
+		quoted, _ := json.Marshal(string(payload))
+		in := &Envelope{V: Version, ID: id, Type: reqType, Payload: quoted, Error: errMsg}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Type == in.Type &&
+			string(out.Payload) == string(in.Payload) && out.Error == in.Error
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: truncated frames never panic and always error.
+func TestTruncatedFramesError(t *testing.T) {
+	var buf bytes.Buffer
+	env := &Envelope{V: Version, ID: 1, Type: "x", Payload: json.RawMessage(`{"k":"v"}`)}
+	if err := WriteFrame(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadFrame(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

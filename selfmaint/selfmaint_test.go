@@ -1,0 +1,139 @@
+package selfmaint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	c, err := NewCluster(
+		WithSeed(1),
+		WithLevel(L3),
+		WithRobots(),
+		WithTechnicians(2),
+		WithFaultAcceleration(30),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(60 * Day)
+	r := c.Report()
+	if r.Elapsed != 60*Day {
+		t.Fatalf("elapsed %v", r.Elapsed)
+	}
+	if r.TicketsOpened == 0 {
+		t.Fatal("no tickets in an accelerated 60-day run")
+	}
+	if r.TicketsResolved == 0 {
+		t.Fatal("nothing resolved")
+	}
+	if r.RobotTasks == 0 {
+		t.Fatal("no robot work at L3")
+	}
+	if r.FleetAvailability <= 0.9 || r.FleetAvailability > 1 {
+		t.Fatalf("availability %v", r.FleetAvailability)
+	}
+	if r.String() == "" {
+		t.Fatal("report string")
+	}
+	if len(c.TicketLog()) != r.TicketsOpened {
+		t.Fatal("ticket log length")
+	}
+	if a := c.Availability(100); a <= 0 || a > 1 {
+		t.Fatalf("traffic availability %v", a)
+	}
+	hours, frac := c.ServiceWindowCDF(10)
+	if len(hours) != 10 || frac[len(frac)-1] != 1 {
+		t.Fatal("cdf shape")
+	}
+}
+
+func TestInjectFault(t *testing.T) {
+	c, err := NewCluster(WithSeed(2), WithLevel(L3), WithRobots(), WithTechnicians(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := c.InjectFault(0, XcvrDead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Fatal("no link name")
+	}
+	if _, err := c.InjectFault(0, Oxidation); err == nil {
+		t.Fatal("double inject accepted")
+	}
+	if _, err := c.InjectFault(10_000, Oxidation); err == nil {
+		t.Fatal("out of range accepted")
+	}
+	c.Run(Day)
+	r := c.Report()
+	if r.TicketsResolved != 1 {
+		t.Fatalf("resolved %d", r.TicketsResolved)
+	}
+}
+
+func TestTopologyOptions(t *testing.T) {
+	for name, build := range map[string]func() (*Network, error){
+		"leafspine": LeafSpine(4, 2, 2),
+		"fattree":   FatTree(4),
+		"jellyfish": Jellyfish(12, 4, 2, 1),
+		"xpander":   Xpander(5, 2, 2, 1),
+		"aicluster": AICluster(8, 2),
+	} {
+		c, err := NewCluster(WithTopology(build), WithLevel(L2), WithRobots(), WithTechnicians(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(c.Network().Links) == 0 {
+			t.Fatalf("%s: empty network", name)
+		}
+		c.Run(Hour)
+	}
+}
+
+func TestHardwareDiversityOption(t *testing.T) {
+	c, err := NewCluster(WithHardwareDiversity(1), WithLevel(L3), WithRobots(), WithTechnicians(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.World().Fleet == nil {
+		t.Fatal("no fleet")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Report {
+		c, err := NewCluster(WithSeed(42), WithLevel(L3), WithRobots(), WithTechnicians(2), WithFaultAcceleration(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(30 * Day)
+		return c.Report()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic reports:\n%v\n%v", a, b)
+	}
+}
+
+func TestTicketLogFormatting(t *testing.T) {
+	c, err := NewCluster(WithSeed(3), WithLevel(L3), WithRobots(), WithTechnicians(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InjectFault(1, Oxidation); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(Day)
+	log := c.TicketLog()
+	if len(log) == 0 {
+		t.Fatal("empty log")
+	}
+	if !strings.Contains(log[0], "resolved") {
+		t.Fatalf("log line: %s", log[0])
+	}
+	if !strings.Contains(log[0], "fixed by") {
+		t.Fatalf("log line lacks fixer: %s", log[0])
+	}
+}
