@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+ci:
+	./ci.sh

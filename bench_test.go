@@ -10,6 +10,8 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/bus"
+	"repro/internal/core"
 	"repro/internal/robotapi"
 	"repro/internal/routing"
 	"repro/internal/scenario"
@@ -189,6 +191,45 @@ func BenchmarkSimulatedDay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Run(selfmaint.Day)
 	}
+}
+
+// BenchmarkBusDispatch measures the pipeline bus's publish path: one event
+// stamped and delivered synchronously to a tap plus four topic subscribers
+// — the hot path every alert, ticket event and dispatch crosses.
+func BenchmarkBusDispatch(b *testing.B) {
+	eng := sim.NewEngine(1)
+	pb := bus.New(eng)
+	var sink int
+	pb.Tap(func(bus.Event) { sink++ })
+	for i := 0; i < 4; i++ {
+		pb.Subscribe(bus.TopicAlert, func(bus.Event) { sink++ })
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pb.Publish(bus.TopicAlert, bus.Alert{})
+	}
+	_ = sink
+}
+
+// BenchmarkPipelineDay measures one virtual day flowing through the full
+// Sense→Triage→Plan→Act pipeline (L4: reactive, proactive and predictive
+// stages all live) and reports the bus traffic it generates.
+func BenchmarkPipelineDay(b *testing.B) {
+	w, err := scenario.Build(scenario.Options{
+		Seed: 1, Level: core.L4, Robots: true, Techs: 2, FaultScale: 50,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := 0
+	w.Bus.Tap(func(bus.Event) { events++ })
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Run(w.Eng.Now() + sim.Day)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/day")
 }
 
 // BenchmarkRoutingEvaluate measures one full traffic-matrix evaluation on

@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: build, vet, formatting, and the full test suite under the race
+# detector. Run from the repository root (or via `make ci`).
+set -eu
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:"
+	echo "$unformatted"
+	exit 1
+fi
+
+echo "== go test -race"
+go test -race ./...
+
+echo "CI green"

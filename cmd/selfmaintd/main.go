@@ -7,6 +7,7 @@
 //	GET /tickets  — ticket list (JSON)
 //	GET /health   — observable link health (JSON)
 //	GET /log      — recent controller decisions (JSON)
+//	GET /events   — recent pipeline bus events, all topics (JSON)
 //
 // Usage:
 //
@@ -34,8 +35,46 @@ import (
 // server paces the simulation and serves snapshots. A single mutex guards
 // the world: the engine is single-threaded by design.
 type server struct {
-	mu sync.Mutex
-	c  *selfmaint.Cluster
+	mu     sync.Mutex
+	c      *selfmaint.Cluster
+	events eventRing
+}
+
+// eventRing keeps the most recent pipeline events. The bus tap that fills
+// it fires synchronously inside Run, so server.mu already guards it.
+type eventRing struct {
+	buf  []eventRow
+	next int
+	full bool
+}
+
+type eventRow struct {
+	At      string `json:"at"`
+	Seq     uint64 `json:"seq"`
+	Topic   string `json:"topic"`
+	Payload string `json:"payload"`
+}
+
+func (r *eventRing) add(ev selfmaint.Event) {
+	row := eventRow{At: ev.At.String(), Seq: ev.Seq,
+		Topic: string(ev.Topic), Payload: fmt.Sprint(ev.Payload)}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, row)
+		return
+	}
+	r.buf[r.next] = row
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+}
+
+// all returns the retained events oldest-first.
+func (r *eventRing) all() []eventRow {
+	if !r.full {
+		return append([]eventRow(nil), r.buf...)
+	}
+	out := make([]eventRow, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
 }
 
 func (s *server) step(d sim.Time) {
@@ -85,6 +124,13 @@ func (s *server) tickets(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, rw)
 	}
+	writeJSON(w, rows)
+}
+
+func (s *server) busEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rows := s.events.all()
+	s.mu.Unlock()
 	writeJSON(w, rows)
 }
 
@@ -140,12 +186,15 @@ func main() {
 		os.Exit(1)
 	}
 	srv := &server{c: c}
+	srv.events.buf = make([]eventRow, 0, 1024)
+	c.TapEvents(srv.events.add)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", srv.status)
 	mux.HandleFunc("/tickets", srv.tickets)
 	mux.HandleFunc("/health", srv.health)
 	mux.HandleFunc("/log", srv.log)
+	mux.HandleFunc("/events", srv.busEvents)
 
 	go func() {
 		tick := time.NewTicker(time.Second)

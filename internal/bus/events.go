@@ -1,0 +1,175 @@
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The maintenance pipeline's event taxonomy. Each stage publishes on its
+// own topic and subscribes to the stage upstream of it:
+//
+//	sense.alert     telemetry → Triage, Plan   payload Alert
+//	plan.request    Plan → Triage              payload RepairRequest
+//	triage.ticket   Triage/Act → Act, Plan     payload TicketEvent
+//	act.dispatch    Act → observers            payload Dispatch
+//	act.outcome     Act → observers            payload WorkOutcome
+//	journal.decision controller → journal tap  payload core.JournalEntry
+const (
+	TopicAlert    Topic = "sense.alert"
+	TopicRequest  Topic = "plan.request"
+	TopicTicket   Topic = "triage.ticket"
+	TopicDispatch Topic = "act.dispatch"
+	TopicOutcome  Topic = "act.outcome"
+	TopicDecision Topic = "journal.decision"
+)
+
+// AlertKind classifies a Sense-stage alert.
+type AlertKind uint8
+
+// Alert kinds, mirroring the telemetry plane's taxonomy without importing
+// it (telemetry publishes onto the bus, so the bus stays below it).
+const (
+	AlertLinkDown AlertKind = iota
+	AlertLinkFlapping
+	AlertLinkRecovered
+)
+
+var alertKindNames = [...]string{
+	AlertLinkDown:      "link-down",
+	AlertLinkFlapping:  "link-flapping",
+	AlertLinkRecovered: "link-recovered",
+}
+
+// String returns the alert kind name.
+func (k AlertKind) String() string {
+	if int(k) < len(alertKindNames) {
+		return alertKindNames[k]
+	}
+	return fmt.Sprintf("alert(%d)", uint8(k))
+}
+
+// Alert is a Sense-stage event: the monitoring plane observed a link state
+// change worth acting on.
+type Alert struct {
+	Kind   AlertKind
+	Link   *topology.Link
+	At     sim.Time
+	Detail string
+}
+
+// String renders the alert for logs.
+func (a Alert) String() string {
+	return fmt.Sprintf("%v %s %s", a.Kind, a.Link.Name(), a.Detail)
+}
+
+// RepairRequest is a Plan-stage event asking Triage to open background
+// maintenance work (a proactive campaign task or a predictive ticket) on a
+// currently healthy link.
+type RepairRequest struct {
+	Link *topology.Link
+	// Predictive marks a model-predicted failure; otherwise the request is
+	// part of a proactive campaign.
+	Predictive bool
+}
+
+// String renders the request for logs.
+func (r RepairRequest) String() string {
+	kind := "proactive"
+	if r.Predictive {
+		kind = "predictive"
+	}
+	return fmt.Sprintf("%s repair of %s", kind, r.Link.Name())
+}
+
+// TicketEventKind classifies a Triage-stage ticket lifecycle event.
+type TicketEventKind uint8
+
+// Ticket lifecycle events.
+const (
+	TicketOpened TicketEventKind = iota
+	TicketDeduped
+	TicketResolved
+	TicketCancelled
+)
+
+var ticketEventNames = [...]string{
+	TicketOpened:    "opened",
+	TicketDeduped:   "deduped",
+	TicketResolved:  "resolved",
+	TicketCancelled: "cancelled",
+}
+
+// String returns the event kind name.
+func (k TicketEventKind) String() string {
+	if int(k) < len(ticketEventNames) {
+		return ticketEventNames[k]
+	}
+	return fmt.Sprintf("ticket-event(%d)", uint8(k))
+}
+
+// TicketEvent is a ticket lifecycle transition. Opened/Deduped/Cancelled
+// are published by Triage; Resolved by Act when a repair verifies healthy.
+type TicketEvent struct {
+	Kind TicketEventKind
+	ID   int
+	Link *topology.Link
+	// Action is the repair action that resolved the ticket (Resolved only).
+	Action faults.Action
+	// Reactive reports whether the ticket repaired a detected failure (as
+	// opposed to proactive/predictive background work). The proactive
+	// planner keys campaigns off reactive reseat fixes.
+	Reactive bool
+}
+
+// String renders the event for logs.
+func (e TicketEvent) String() string {
+	return fmt.Sprintf("T%d %s %s", e.ID, e.Link.Name(), e.Kind)
+}
+
+// Dispatch is an Act-stage event: physical work is being launched.
+type Dispatch struct {
+	Ticket int
+	Link   *topology.Link
+	Actor  string
+	Robot  bool
+	Action faults.Action
+	End    faults.End
+}
+
+// String renders the dispatch for logs.
+func (d Dispatch) String() string {
+	lane := "human"
+	if d.Robot {
+		lane = "robot"
+	}
+	return fmt.Sprintf("T%d %s %s %v@%v by %s", d.Ticket, d.Link.Name(), lane, d.Action, d.End, d.Actor)
+}
+
+// WorkOutcome is an Act-stage event: a physical attempt finished.
+type WorkOutcome struct {
+	Ticket int
+	Link   *topology.Link
+	Actor  string
+	Robot  bool
+	Action faults.Action
+	// Completed reports the action was physically performed; Fixed that the
+	// link verified healthy afterwards.
+	Completed bool
+	Fixed     bool
+	Note      string
+}
+
+// String renders the outcome for logs.
+func (o WorkOutcome) String() string {
+	verdict := "failed"
+	switch {
+	case o.Fixed:
+		verdict = "fixed"
+	case o.Completed:
+		verdict = "performed, not fixed"
+	}
+	return fmt.Sprintf("T%d %s %v by %s: %s", o.Ticket, o.Link.Name(), o.Action, o.Actor, verdict)
+}

@@ -6,6 +6,28 @@
 // maintenance campaigns during low-utilization windows, and predicts
 // failures from telemetry features.
 //
+// Since the event-bus refactor the control plane is a pipeline of stages
+// communicating over internal/bus, mirroring the measurement → inference →
+// action loop of self-running networks:
+//
+//	Sense  — telemetry publishes alerts on sense.alert (wired externally
+//	         via telemetry.Monitor.PublishTo)
+//	Triage — opens, dedups and cancels tickets (triage.go), consuming
+//	         sense.alert and plan.request, producing triage.ticket
+//	Plan   — the Policy interface picks ladder actions and impact sets
+//	         (policy.go); the Planner runs proactive campaigns and the
+//	         failure predictor (plan.go, predict.go), producing
+//	         plan.request
+//	Act    — dispatches physical work through exec.Executor backends
+//	         (dispatch.go, outcome.go), consuming triage.ticket and
+//	         producing act.dispatch / act.outcome
+//
+// Controller is the thin supervisor that wires the stages onto the bus; the
+// journal (journal.go) records every decision published on
+// journal.decision. The stages never call telemetry, robot or workforce
+// concrete types: alerts arrive as bus events, physical work goes through
+// exec.Executor.
+//
 // The controller's behaviour is governed by an automation Level (§2.1),
 // mirroring the SAE-derived taxonomy: at L0 everything is human; L1 robots
 // assist but a technician must operate them; L2 robots act under human
@@ -16,17 +38,15 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
+	"repro/internal/bus"
 	"repro/internal/diagnosis"
+	"repro/internal/exec"
 	"repro/internal/faults"
-	"repro/internal/robot"
 	"repro/internal/routing"
 	"repro/internal/sim"
-	"repro/internal/telemetry"
 	"repro/internal/ticket"
 	"repro/internal/topology"
-	"repro/internal/workforce"
 )
 
 // Level is the automation level (§2.1).
@@ -132,61 +152,84 @@ type Stats struct {
 	SafetyHolds        int
 }
 
-// Controller is the self-maintenance control plane for one network.
+// Deps are the services a controller is wired with. Alerts are not listed:
+// they arrive over Bus (topic sense.alert), published by whichever
+// monitoring plane the caller connects.
+type Deps struct {
+	Eng    *sim.Engine
+	Net    *topology.Network
+	Inj    *faults.Injector
+	Diag   *diagnosis.Engine
+	Store  *ticket.Store
+	Router *routing.Router
+	Bus    *bus.Bus
+
+	// Robots and Humans are the Act stage's execution backends. Humans may
+	// additionally implement exec.Shifted, exec.RowOccupancy and
+	// exec.OperatorSource; Act discovers those capabilities by assertion.
+	Robots exec.Executor
+	Humans exec.Executor
+
+	// Features returns the prediction feature vector for a link; nil
+	// disables feature snapshots (the predictor then never trains).
+	Features func(topology.LinkID) []float64
+
+	// Policy decides repair actions and impact sets; nil uses the built-in
+	// escalation-ladder policy backed by Diag and Inj.
+	Policy Policy
+}
+
+// Controller is the self-maintenance control plane for one network: a thin
+// supervisor that wires the Triage, Plan and Act stages onto the bus and
+// owns the shared stats and decision journal.
 type Controller struct {
-	eng    *sim.Engine
-	net    *topology.Network
-	inj    *faults.Injector
-	mon    *telemetry.Monitor
-	diag   *diagnosis.Engine
-	store  *ticket.Store
-	router *routing.Router
-	fleet  *robot.Fleet
-	crew   *workforce.Crew
-	cfg    Config
+	d   Deps
+	cfg Config
 
-	work      map[int]*workItem // by ticket ID
-	reseatLog map[topology.DeviceID][]sim.Time
-
-	predictor *Predictor
-	collector *sampleCollector
+	triage  *Triage
+	planner *Planner
+	act     *Act
 
 	journal journal
 	stats   Stats
 }
 
-// workItem tracks in-flight controller state for a ticket.
-type workItem struct {
-	t          *ticket.Ticket
-	stage      int
-	attempts   int
-	forceHuman bool
-	active     bool
-	drained    []topology.LinkID
-	chronic    bool
-	// notBefore parks the item (stockout backoff, chronic cadence): global
-	// dispatch passes skip it until the instant passes; its own retry event
-	// re-kicks it.
-	notBefore sim.Time
-}
-
-// New wires a controller into a world. It subscribes to the monitor's
-// alerts; the caller owns scheduling the engine.
-func New(eng *sim.Engine, net *topology.Network, inj *faults.Injector,
-	mon *telemetry.Monitor, diag *diagnosis.Engine, store *ticket.Store,
-	router *routing.Router, fleet *robot.Fleet, crew *workforce.Crew, cfg Config) *Controller {
-
-	c := &Controller{
-		eng: eng, net: net, inj: inj, mon: mon, diag: diag, store: store,
-		router: router, fleet: fleet, crew: crew, cfg: cfg,
-		work:      make(map[int]*workItem),
-		reseatLog: make(map[topology.DeviceID][]sim.Time),
+// New wires a controller into a world. Stage subscriptions are ordered so
+// that, within one published event, observers fire exactly as the old
+// monolithic controller did: the journal first, then Plan's sample
+// collector, then Triage, then Act.
+func New(d Deps, cfg Config) *Controller {
+	if d.Policy == nil {
+		d.Policy = NewLadderPolicy(d.Diag, d.Inj)
 	}
-	mon.OnAlert(c.onAlert)
+	c := &Controller{d: d, cfg: cfg}
+
+	// Journal: every decision published on journal.decision is retained.
+	d.Bus.Subscribe(bus.TopicDecision, func(ev bus.Event) {
+		if e, ok := ev.Payload.(JournalEntry); ok {
+			c.journal.add(e)
+		}
+	})
+
+	// Sense accounting.
+	d.Bus.Subscribe(bus.TopicAlert, func(bus.Event) { c.stats.AlertsSeen++ })
+
+	c.planner = newPlanner(c)
 	if cfg.Predictive {
-		c.predictor = NewPredictor()
-		c.collector = newSampleCollector(cfg.PredictHorizon)
-		c.startPredictiveLoop()
+		// The sample collector labels feature snapshots from alerts; it must
+		// observe each alert before Triage reacts to it, as before.
+		d.Bus.Subscribe(bus.TopicAlert, c.planner.onAlert)
+	}
+	c.act = newAct(c)
+	c.triage = newTriage(c)
+
+	d.Bus.Subscribe(bus.TopicAlert, c.triage.onAlert)
+	d.Bus.Subscribe(bus.TopicRequest, c.triage.onRequest)
+	d.Bus.Subscribe(bus.TopicTicket, c.act.onTicketEvent)
+	d.Bus.Subscribe(bus.TopicTicket, c.planner.onTicketEvent)
+
+	if cfg.Predictive {
+		c.planner.startPredictiveLoop()
 	}
 	return c
 }
@@ -194,107 +237,22 @@ func New(eng *sim.Engine, net *topology.Network, inj *faults.Injector,
 // Stats returns a copy of the activity counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
-// onAlert is the telemetry entry point.
-func (c *Controller) onAlert(a telemetry.Alert) {
-	c.stats.AlertsSeen++
-	if c.collector != nil {
-		c.collector.observeAlert(a)
-	}
-	switch a.Kind {
-	case telemetry.AlertLinkDown:
-		c.openTicket(a.Link, ticket.Reactive, faults.Down, ticket.P0)
-	case telemetry.AlertLinkFlapping:
-		c.openTicket(a.Link, ticket.Reactive, faults.Flapping, ticket.P1)
-	case telemetry.AlertLinkRecovered:
-		// A link that healed with no physical work in flight closes its
-		// ticket (transient or masked fault cleared by itself).
-		if t := c.store.OpenFor(a.Link.ID); t != nil {
-			if w := c.work[t.ID]; w == nil || !w.active {
-				c.store.Cancel(t)
-				delete(c.work, t.ID)
-				c.stats.TicketsCancelled++
-				c.log(EvTicketCancelled, t.ID, a.Link.Name(), "recovered without intervention")
-			}
-		}
-	}
-}
-
-// openTicket files (or dedups into) a ticket and schedules dispatch.
-func (c *Controller) openTicket(l *topology.Link, kind ticket.Kind, symptom faults.Health, prio ticket.Priority) {
-	t, created := c.store.Open(l, kind, symptom, prio)
-	if created {
-		c.stats.TicketsOpened++
-		c.work[t.ID] = &workItem{t: t, stage: t.StartStage}
-		detail := fmt.Sprintf("%v %v %v", kind, symptom, prio)
-		if t.RepeatOf >= 0 {
-			detail += fmt.Sprintf(" (repeat of T%d, start stage %d)", t.RepeatOf, t.StartStage)
-		}
-		c.log(EvTicketOpened, t.ID, l.Name(), detail)
-	}
-	c.kickDispatch()
-}
-
-func (c *Controller) kickDispatch() {
-	c.eng.After(0, "dispatch", c.dispatch)
-}
-
-// dispatch walks all pending work items in (priority, age) order and starts
-// whatever can start now. It iterates the controller's own work map rather
-// than the store's queue: a ticket whose start was rolled back (unit stolen
-// during drain-settle, stockout retry) is Active in the store but still
-// needs dispatching.
-func (c *Controller) dispatch() {
-	now := c.eng.Now()
-	items := make([]*workItem, 0, len(c.work))
-	for _, w := range c.work {
-		if w.active || w.t.Status == ticket.Resolved || w.t.Status == ticket.Cancelled {
-			continue
-		}
-		if now < w.notBefore {
-			continue
-		}
-		items = append(items, w)
-	}
-	sort.Slice(items, func(i, j int) bool {
-		a, b := items[i].t, items[j].t
-		if a.Priority != b.Priority {
-			return a.Priority < b.Priority
-		}
-		if a.CreatedAt != b.CreatedAt {
-			return a.CreatedAt < b.CreatedAt
-		}
-		return a.ID < b.ID
-	})
-	deferred := false
-	for _, w := range items {
-		// Background (P2) work respects the utilization gate.
-		if w.t.Priority == ticket.P2 && c.utilization() > c.cfg.UtilGate {
-			if !deferred {
-				deferred = true
-				c.eng.After(sim.Hour, "util-deferred", c.dispatch)
-			}
-			continue
-		}
-		c.tryStart(w)
-	}
-}
-
-// utilization reads the configured utilization source.
-func (c *Controller) utilization() float64 {
-	if c.cfg.UtilFn == nil {
-		return 0
-	}
-	return c.cfg.UtilFn()
-}
+// Policy returns the active planning policy.
+func (c *Controller) Policy() Policy { return c.d.Policy }
 
 // HeldDrains returns how many links are currently drained on behalf of
 // in-flight work items — operational introspection, and the invariant
 // DrainedCount == HeldDrains must hold whenever the controller is the only
 // drain authority.
-func (c *Controller) HeldDrains() int {
-	n := 0
-	for _, w := range c.work {
-		n += len(w.drained)
+func (c *Controller) HeldDrains() int { return c.act.heldDrains() }
+
+// PredictorHandle exposes the trained predictor for experiment scoring.
+func (c *Controller) PredictorHandle() *Predictor { return c.planner.predictor }
+
+// CollectorDataset exposes matured labelled samples for experiment scoring.
+func (c *Controller) CollectorDataset() (X [][]float64, y []bool) {
+	if c.planner.collector == nil {
+		return nil, nil
 	}
-	return n
+	return c.planner.collector.dataset(c.d.Eng.Now())
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/bus"
 	"repro/internal/diagnosis"
 	"repro/internal/faults"
 	"repro/internal/inventory"
@@ -20,6 +21,7 @@ import (
 type harness struct {
 	eng    *sim.Engine
 	net    *topology.Network
+	bus    *bus.Bus
 	inj    *faults.Injector
 	mon    *telemetry.Monitor
 	store  *ticket.Store
@@ -67,6 +69,8 @@ func newHarness(t *testing.T, o harnessOpt) *harness {
 	inj := faults.NewInjector(eng, n, fcfg)
 	mon := telemetry.NewMonitor(eng, n, telemetry.DefaultConfig())
 	inj.Subscribe(mon)
+	b := bus.New(eng)
+	mon.PublishTo(b)
 	diag := diagnosis.New(eng, mon, inj)
 	store := ticket.NewStore(eng, ticket.DefaultConfig())
 	router := routing.NewRouter(n, func(id topology.LinkID) bool {
@@ -88,8 +92,16 @@ func newHarness(t *testing.T, o harnessOpt) *harness {
 	if o.mutCfg != nil {
 		o.mutCfg(&cfg)
 	}
-	ctrl := New(eng, n, inj, mon, diag, store, router, fleet, crew, cfg)
-	return &harness{eng: eng, net: n, inj: inj, mon: mon, store: store,
+	ctrl := New(Deps{
+		Eng: eng, Net: n, Inj: inj, Diag: diag, Store: store, Router: router,
+		Bus:    b,
+		Robots: robot.NewExecutor(fleet),
+		Humans: workforce.NewExecutor(crew),
+		Features: func(id topology.LinkID) []float64 {
+			return mon.Snapshot(id).Vector()
+		},
+	}, cfg)
+	return &harness{eng: eng, net: n, bus: b, inj: inj, mon: mon, store: store,
 		router: router, fleet: fleet, crew: crew, ctrl: ctrl}
 }
 

@@ -2,40 +2,183 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/bus"
+	"repro/internal/exec"
 	"repro/internal/faults"
-	"repro/internal/robot"
 	"repro/internal/sim"
 	"repro/internal/ticket"
 	"repro/internal/topology"
-	"repro/internal/workforce"
 )
+
+// Act is the pipeline stage that turns tickets into physical work. It
+// consumes triage.ticket events to maintain its work queue, consults the
+// Policy for actions and impact sets, and dispatches through the
+// exec.Executor backends — it never touches robot or workforce concrete
+// types. Dispatches and outcomes are announced on act.dispatch and
+// act.outcome.
+type Act struct {
+	c *Controller
+
+	robots exec.Executor
+	humans exec.Executor
+	// Capabilities discovered on the human backend; nil-checked at use.
+	shifted exec.Shifted
+	rowOcc  exec.RowOccupancy
+	opSrc   exec.OperatorSource
+
+	work map[int]*workItem // by ticket ID
+}
+
+// workItem tracks in-flight dispatch state for a ticket.
+type workItem struct {
+	t          *ticket.Ticket
+	stage      int
+	attempts   int
+	forceHuman bool
+	active     bool
+	drained    []topology.LinkID
+	chronic    bool
+	// notBefore parks the item (stockout backoff, chronic cadence): global
+	// dispatch passes skip it until the instant passes; its own retry event
+	// re-kicks it.
+	notBefore sim.Time
+}
+
+func newAct(c *Controller) *Act {
+	a := &Act{c: c, robots: c.d.Robots, humans: c.d.Humans, work: make(map[int]*workItem)}
+	if s, ok := c.d.Humans.(exec.Shifted); ok {
+		a.shifted = s
+	}
+	if r, ok := c.d.Humans.(exec.RowOccupancy); ok {
+		a.rowOcc = r
+	}
+	if o, ok := c.d.Humans.(exec.OperatorSource); ok {
+		a.opSrc = o
+	}
+	return a
+}
+
+// onTicketEvent maintains the work queue from triage.ticket events.
+func (a *Act) onTicketEvent(ev bus.Event) {
+	te, ok := ev.Payload.(bus.TicketEvent)
+	if !ok {
+		return
+	}
+	switch te.Kind {
+	case bus.TicketOpened:
+		t := a.c.d.Store.OpenFor(te.Link.ID)
+		if t == nil || t.ID != te.ID {
+			return
+		}
+		a.work[t.ID] = &workItem{t: t, stage: t.StartStage}
+		a.kickDispatch()
+	case bus.TicketDeduped:
+		// The existing ticket may be startable (priority upgraded, resources
+		// freed since): give dispatch a pass.
+		a.kickDispatch()
+	case bus.TicketCancelled:
+		delete(a.work, te.ID)
+	}
+}
+
+// inFlight reports whether physical work is active for a ticket.
+func (a *Act) inFlight(ticketID int) bool {
+	w := a.work[ticketID]
+	return w != nil && w.active
+}
+
+// heldDrains counts links drained on behalf of in-flight work items.
+func (a *Act) heldDrains() int {
+	n := 0
+	for _, w := range a.work {
+		n += len(w.drained)
+	}
+	return n
+}
+
+func (a *Act) kickDispatch() {
+	a.c.d.Eng.After(0, "dispatch", a.dispatch)
+}
+
+// dispatch walks all pending work items in (priority, age) order and starts
+// whatever can start now. It iterates the stage's own work map rather than
+// the store's queue: a ticket whose start was rolled back (unit stolen
+// during drain-settle, stockout retry) is Active in the store but still
+// needs dispatching.
+func (a *Act) dispatch() {
+	now := a.c.d.Eng.Now()
+	items := make([]*workItem, 0, len(a.work))
+	for _, w := range a.work {
+		if w.active || w.t.Status == ticket.Resolved || w.t.Status == ticket.Cancelled {
+			continue
+		}
+		if now < w.notBefore {
+			continue
+		}
+		items = append(items, w)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		x, y := items[i].t, items[j].t
+		if x.Priority != y.Priority {
+			return x.Priority < y.Priority
+		}
+		if x.CreatedAt != y.CreatedAt {
+			return x.CreatedAt < y.CreatedAt
+		}
+		return x.ID < y.ID
+	})
+	deferred := false
+	for _, w := range items {
+		// Background (P2) work respects the utilization gate.
+		if w.t.Priority == ticket.P2 && a.utilization() > a.c.cfg.UtilGate {
+			if !deferred {
+				deferred = true
+				a.c.d.Eng.After(sim.Hour, "util-deferred", a.dispatch)
+			}
+			continue
+		}
+		a.tryStart(w)
+	}
+}
+
+// utilization reads the configured utilization source.
+func (a *Act) utilization() float64 {
+	if a.c.cfg.UtilFn == nil {
+		return 0
+	}
+	return a.c.cfg.UtilFn()
+}
 
 // tryStart picks the action and executor for a ticket and launches the
 // physical work if resources allow. It is a no-op (rescheduling itself as
 // needed) when nothing can start yet.
-func (c *Controller) tryStart(w *workItem) {
+func (a *Act) tryStart(w *workItem) {
+	c := a.c
 	t := w.t
 	// Proactive/predictive tickets on healthy links carry their own action
-	// choice; reactive work consults diagnosis each attempt.
-	action := c.ladderAction(w)
-	end := c.chooseEnd(t.Link, t.Symptom, action)
+	// choice; reactive work consults diagnosis each attempt (inside the
+	// policy).
+	d := c.d.Policy.Decide(t, w.stage)
+	w.stage = d.Stage
+	task := exec.Task{Link: t.Link, End: d.End, Action: d.Action}
 
-	useRobot := c.robotEligible(action)
-	var unit *robot.Unit
+	useRobot := a.robotEligible(d.Action)
+	var unit exec.Actor
 	if useRobot {
-		loc := end.Port(t.Link).Device.Loc
-		if c.cfg.SafetyInterlock && c.crew.TechniciansInRow(loc.Row) > 0 {
+		loc := task.Port().Device.Loc
+		if c.cfg.SafetyInterlock && a.rowOcc != nil && a.rowOcc.BusyInRow(loc.Row) > 0 {
 			// Safety interlock: a technician is hands-on in that row; the
 			// robot stays out (§3.4). No timed retry is needed — the
 			// occupying technician's task outcome kicks a dispatch pass
 			// the moment the row frees.
 			c.stats.SafetyHolds++
-			c.log(EvSafetyHold, w.t.ID, t.Link.Name(),
+			c.log(EvSafetyHold, t.ID, t.Link.Name(),
 				fmt.Sprintf("technician hands-on in row %d", loc.Row))
 			return
 		}
-		unit = c.fleet.FindUnit(loc)
+		unit = a.robots.Claim(loc)
 		if unit == nil {
 			useRobot = false // out of reach or all busy: fall through to humans
 		}
@@ -47,57 +190,68 @@ func (c *Controller) tryStart(w *workItem) {
 	switch {
 	case useRobot && c.cfg.Level == L1:
 		// Operator assistance: a technician must run the device.
-		tech := c.crew.FindTech()
-		if tech == nil {
+		if a.opSrc == nil {
+			return
+		}
+		op, ok := a.opSrc.ClaimOperator()
+		if !ok {
 			return // retried when a task completes
 		}
-		tech.Reserve()
-		delay := c.crew.DispatchDelay(c.eng.Now())
-		c.startWork(w, t)
-		c.eng.After(delay, "l1-operator-arrives", func() {
-			c.runRobot(w, unit, robot.Task{Link: t.Link, End: end, Action: action}, tech)
+		delay := op.ArrivalDelay(c.d.Eng.Now())
+		a.startWork(w, t)
+		c.d.Eng.After(delay, "l1-operator-arrives", func() {
+			a.runRobot(w, unit, task, op)
 		})
-	case useRobot && c.cfg.Level == L2 && !c.crew.OnShift(c.eng.Now()):
+	case useRobot && c.cfg.Level == L2 && !a.onShift(c.d.Eng.Now()):
 		if t.Priority == ticket.P0 {
 			// An outage cannot wait for the supervision shift: call out a
 			// technician instead, today's process.
-			tech := c.crew.FindTech()
+			tech := a.humans.Claim(task.Port().Device.Loc)
 			if tech == nil {
 				return
 			}
-			c.startWork(w, t)
-			c.runHuman(w, tech, workforce.Task{Link: t.Link, End: end, Action: action})
+			a.startWork(w, t)
+			a.runHuman(w, tech, task)
 			return
 		}
 		// Degraded/background work waits for the supervision shift.
-		c.eng.After(c.timeToShift(), "await-supervision", c.dispatch)
+		c.d.Eng.After(a.timeToShift(), "await-supervision", a.dispatch)
 	case useRobot:
-		c.startWork(w, t)
-		c.runRobot(w, unit, robot.Task{Link: t.Link, End: end, Action: action}, nil)
+		a.startWork(w, t)
+		a.runRobot(w, unit, task, nil)
 	default:
-		tech := c.crew.FindTech()
+		tech := a.humans.Claim(task.Port().Device.Loc)
 		if tech == nil {
 			return
 		}
-		c.startWork(w, t)
-		c.runHuman(w, tech, workforce.Task{Link: t.Link, End: end, Action: action})
+		a.startWork(w, t)
+		a.runHuman(w, tech, task)
 	}
 }
 
 // startWork transitions the ticket into execution.
-func (c *Controller) startWork(w *workItem, t *ticket.Ticket) {
+func (a *Act) startWork(w *workItem, t *ticket.Ticket) {
 	w.active = true
 	if t.Status == ticket.Open {
-		c.store.Assign(t, "controller")
+		a.c.d.Store.Assign(t, "controller")
 	}
-	c.store.Start(t)
+	a.c.d.Store.Start(t)
+}
+
+// onShift consults the human backend's shift calendar; executors without
+// one are treated as always supervised.
+func (a *Act) onShift(at sim.Time) bool {
+	if a.shifted == nil {
+		return true
+	}
+	return a.shifted.OnShift(at)
 }
 
 // timeToShift returns the delay until the next supervision shift begins.
-func (c *Controller) timeToShift() sim.Time {
-	now := c.eng.Now()
+func (a *Act) timeToShift() sim.Time {
+	now := a.c.d.Eng.Now()
 	for d := sim.Time(0); d <= 24*sim.Hour; d += 15 * sim.Minute {
-		if c.crew.OnShift(now + d) {
+		if a.onShift(now + d) {
 			return d
 		}
 	}
@@ -106,132 +260,94 @@ func (c *Controller) timeToShift() sim.Time {
 
 const time24 = 24 * sim.Hour
 
-// ladderAction returns the escalation-ladder action for the current stage,
-// clamped to the last rung.
-func (c *Controller) ladderAction(w *workItem) faults.Action {
-	if w.t.Kind != ticket.Reactive && w.t.Symptom == faults.Healthy {
-		// Proactive/predictive maintenance on a healthy link: stage 0 is a
-		// reseat, stage 1 a clean; never escalate to replacement.
-		if w.stage >= 1 {
-			return faults.Clean
-		}
-		return faults.Reseat
-	}
-	// The ladder wraps: if every rung failed (a wrong-end diagnosis can
-	// defeat even replacements), start over with a fresh diagnostic pass
-	// rather than hammering the top rung forever.
-	stage := w.stage % len(faults.AllActions)
-	a := faults.AllActions[stage]
-	// Cleaning only applies to separable fiber; skip that rung otherwise.
-	if a == faults.Clean && !w.t.Link.HasSeparableFiber() {
-		stage = (stage + 1) % len(faults.AllActions)
-		a = faults.AllActions[stage]
-	}
-	// Reseat requires a pluggable transceiver.
-	if a == faults.Reseat && !w.t.Link.Cable.Class.NeedsTransceiver() {
-		a = faults.ReplaceCable
-		w.stage = 3
-	}
-	return a
-}
-
-// chooseEnd diagnoses the link to decide which end to service. Proactive
-// work on healthy links picks end A (both get serviced across a campaign).
-func (c *Controller) chooseEnd(l *topology.Link, symptom faults.Health, action faults.Action) faults.End {
-	if symptom == faults.Healthy {
-		return faults.EndA
-	}
-	d := c.diag.Diagnose(l, symptom)
-	if action == faults.ReplaceSwitchPort {
-		// Switch work must target a switch end.
-		if !d.End.Port(l).Device.Kind.IsSwitch() {
-			return d.End.Opposite()
-		}
-	}
-	return d.End
-}
-
 // robotEligible reports whether the current level sends this action to a
 // robot at all.
-func (c *Controller) robotEligible(a faults.Action) bool {
-	return c.cfg.Level >= L1 && robot.CanPerform(a)
+func (a *Act) robotEligible(action faults.Action) bool {
+	return a.c.cfg.Level >= L1 && a.robots != nil && a.robots.CanPerform(action)
 }
 
-// runRobot performs impact-aware pre-draining and executes on the unit.
-// tech, when non-nil, is the Level-1 operator to release afterwards.
-func (c *Controller) runRobot(w *workItem, unit *robot.Unit, task robot.Task, tech *workforce.Technician) {
+// runRobot performs impact-aware pre-draining and executes on the robotic
+// backend. op, when non-nil, is the Level-1 operator to release afterwards.
+func (a *Act) runRobot(w *workItem, unit exec.Actor, task exec.Task, op exec.Operator) {
+	c := a.c
 	begin := func() {
 		if !unit.Available() {
 			// The unit was claimed by another ticket between scheduling
 			// and start (e.g. during the drain-settle delay): retry.
-			if tech != nil {
-				tech.Release()
+			if op != nil {
+				op.Release()
 			}
-			c.undrain(w)
+			a.undrain(w)
 			w.active = false
-			c.eng.After(c.cfg.RetryDelay, "unit-stolen-retry", c.dispatch)
+			c.d.Eng.After(c.cfg.RetryDelay, "unit-stolen-retry", a.dispatch)
 			return
 		}
 		c.stats.RobotTasks++
 		c.log(EvDispatchRobot, w.t.ID, task.Link.Name(),
-			fmt.Sprintf("%v@%v by %s", task.Action, task.End, unit.Name))
-		c.fleet.Execute(unit, task, func(out robot.Outcome) {
-			if tech != nil {
-				tech.Release()
+			fmt.Sprintf("%v@%v by %s", task.Action, task.End, unit.Name()))
+		c.d.Bus.Publish(bus.TopicDispatch, bus.Dispatch{
+			Ticket: w.t.ID, Link: task.Link, Actor: unit.Name(), Robot: true,
+			Action: task.Action, End: task.End,
+		})
+		a.robots.Execute(unit, task, func(out exec.Outcome) {
+			if op != nil {
+				op.Release()
 			}
-			c.undrain(w)
-			c.onRobotOutcome(w, out)
+			a.undrain(w)
+			a.onRobotOutcome(w, out)
 		})
 	}
 	if c.cfg.ImpactAware {
-		c.preDrain(w, task.Port())
-		c.eng.After(c.cfg.DrainSettle, "drain-settle", begin)
+		a.preDrain(w, task.Port())
+		c.d.Eng.After(c.cfg.DrainSettle, "drain-settle", begin)
 	} else {
 		begin()
 	}
 }
 
-// runHuman executes the task with a technician. Humans are dispatched
+// runHuman executes the task on the human backend. Humans are dispatched
 // without pre-draining at L0/L1 (today's process); at L2+ the controller
 // drains for them too — the cross-layer machinery exists regardless of who
 // holds the tool.
-func (c *Controller) runHuman(w *workItem, tech *workforce.Technician, task workforce.Task) {
+func (a *Act) runHuman(w *workItem, tech exec.Actor, task exec.Task) {
+	c := a.c
 	begin := func() {
 		if !tech.Available() {
 			// Claimed by another ticket during the drain-settle delay.
-			c.undrain(w)
+			a.undrain(w)
 			w.active = false
-			c.eng.After(c.cfg.RetryDelay, "tech-stolen-retry", c.dispatch)
+			c.d.Eng.After(c.cfg.RetryDelay, "tech-stolen-retry", a.dispatch)
 			return
 		}
 		c.stats.HumanTasks++
 		c.log(EvDispatchHuman, w.t.ID, task.Link.Name(),
-			fmt.Sprintf("%v@%v by %s", task.Action, task.End, tech.Name))
-		c.crew.Execute(tech, task, func(out workforce.Outcome) {
-			c.undrain(w)
-			c.onHumanOutcome(w, out)
+			fmt.Sprintf("%v@%v by %s", task.Action, task.End, tech.Name()))
+		c.d.Bus.Publish(bus.TopicDispatch, bus.Dispatch{
+			Ticket: w.t.ID, Link: task.Link, Actor: tech.Name(), Robot: false,
+			Action: task.Action, End: task.End,
+		})
+		a.humans.Execute(tech, task, func(out exec.Outcome) {
+			a.undrain(w)
+			a.onHumanOutcome(w, out)
 		})
 	}
 	if c.cfg.ImpactAware {
-		c.preDrain(w, task.Port())
-		c.eng.After(c.cfg.DrainSettle, "drain-settle", begin)
+		a.preDrain(w, task.Port())
+		c.d.Eng.After(c.cfg.DrainSettle, "drain-settle", begin)
 	} else {
 		begin()
 	}
 }
 
-// preDrain drains the target link and every cable the manipulation will
-// contact (the robot API's pre-report), so touched cables carry no traffic.
-func (c *Controller) preDrain(w *workItem, port *topology.Port) {
-	drain := func(id topology.LinkID) {
-		if !c.router.Drained(id) {
-			c.router.Drain(id)
+// preDrain drains the policy's impact set — the target link and every cable
+// the manipulation will contact — so touched cables carry no traffic.
+func (a *Act) preDrain(w *workItem, port *topology.Port) {
+	c := a.c
+	for _, id := range c.d.Policy.ImpactSet(w.t.Link, port) {
+		if !c.d.Router.Drained(id) {
+			c.d.Router.Drain(id)
 			w.drained = append(w.drained, id)
 		}
-	}
-	drain(w.t.Link.ID)
-	for _, l := range c.inj.DisturbedBy(port) {
-		drain(l.ID)
 	}
 	c.stats.PreDrains++
 	c.log(EvPreDrain, w.t.ID, w.t.Link.Name(),
@@ -239,9 +355,9 @@ func (c *Controller) preDrain(w *workItem, port *topology.Port) {
 }
 
 // undrain restores everything this work item drained.
-func (c *Controller) undrain(w *workItem) {
+func (a *Act) undrain(w *workItem) {
 	for _, id := range w.drained {
-		c.router.Undrain(id)
+		a.c.d.Router.Undrain(id)
 	}
 	w.drained = nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bus"
 	"repro/internal/sim"
 )
 
@@ -115,10 +116,12 @@ func (j *journal) tail(n int) []JournalEntry {
 	return out
 }
 
-// log records a controller decision.
+// log publishes a controller decision on the bus; the journal retains it
+// via its journal.decision subscription, and any tap (the daemon's /events
+// stream, tests) sees it in order with the rest of the pipeline's events.
 func (c *Controller) log(kind EventKind, ticketID int, link, detail string) {
-	c.journal.add(JournalEntry{
-		At: c.eng.Now(), Kind: kind, Ticket: ticketID, Link: link, Detail: detail,
+	c.d.Bus.Publish(bus.TopicDecision, JournalEntry{
+		At: c.d.Eng.Now(), Kind: kind, Ticket: ticketID, Link: link, Detail: detail,
 	})
 }
 

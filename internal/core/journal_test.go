@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func entry(i int) JournalEntry {
+	return JournalEntry{At: sim.Time(i) * sim.Second, Kind: EvTicketOpened,
+		Ticket: i, Link: "l", Detail: fmt.Sprintf("e%d", i)}
+}
+
+// TestJournalTailPartial covers the pre-wrap regime: everything added is
+// retained, oldest first, and tail(n) trims from the front.
+func TestJournalTailPartial(t *testing.T) {
+	var j journal
+	if got := j.tail(0); len(got) != 0 {
+		t.Fatalf("empty journal returned %d entries", len(got))
+	}
+	for i := 0; i < 10; i++ {
+		j.add(entry(i))
+	}
+	all := j.tail(0)
+	if len(all) != 10 {
+		t.Fatalf("tail(0) = %d entries, want 10", len(all))
+	}
+	for i, e := range all {
+		if e.Ticket != i {
+			t.Fatalf("tail(0)[%d].Ticket = %d, want %d", i, e.Ticket, i)
+		}
+	}
+	last3 := j.tail(3)
+	if len(last3) != 3 || last3[0].Ticket != 7 || last3[2].Ticket != 9 {
+		t.Fatalf("tail(3) = %v, want tickets 7..9", last3)
+	}
+	// Asking for more than retained returns what exists.
+	if got := j.tail(100); len(got) != 10 {
+		t.Fatalf("tail(100) = %d entries, want 10", len(got))
+	}
+}
+
+// TestJournalTruncatesAtCapacity covers the ring semantics: once more than
+// journalCap entries are added, only the newest journalCap survive, still
+// oldest first.
+func TestJournalTruncatesAtCapacity(t *testing.T) {
+	var j journal
+	const extra = 100
+	for i := 0; i < journalCap+extra; i++ {
+		j.add(entry(i))
+	}
+	all := j.tail(0)
+	if len(all) != journalCap {
+		t.Fatalf("tail(0) after wrap = %d entries, want %d", len(all), journalCap)
+	}
+	if all[0].Ticket != extra {
+		t.Fatalf("oldest retained = %d, want %d (first %d truncated)",
+			all[0].Ticket, extra, extra)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Ticket != all[i-1].Ticket+1 {
+			t.Fatalf("ordering broken at %d: %d after %d", i, all[i].Ticket, all[i-1].Ticket)
+		}
+	}
+	if last := all[len(all)-1].Ticket; last != journalCap+extra-1 {
+		t.Fatalf("newest retained = %d, want %d", last, journalCap+extra-1)
+	}
+}
+
+// TestJournalTailIsACopy verifies that mutating a returned slice cannot
+// corrupt the ring.
+func TestJournalTailIsACopy(t *testing.T) {
+	var j journal
+	for i := 0; i < 5; i++ {
+		j.add(entry(i))
+	}
+	got := j.tail(0)
+	got[0].Ticket = 999
+	if again := j.tail(0); again[0].Ticket != 0 {
+		t.Fatalf("ring mutated through tail() result: ticket %d", again[0].Ticket)
+	}
+}
+
+func TestJournalEntryString(t *testing.T) {
+	e := JournalEntry{At: 90 * sim.Second, Kind: EvDispatchRobot,
+		Ticket: 7, Link: "leaf0/p0<->spine0/p0", Detail: "reseat@A"}
+	want := "[00:01:30.000] dispatch-robot T7 leaf0/p0<->spine0/p0: reseat@A"
+	if e.String() != want {
+		t.Fatalf("String() = %q, want %q", e.String(), want)
+	}
+	// Non-ticket-scoped entries omit the T and link fields.
+	e2 := JournalEntry{At: 0, Kind: EvProactiveCampaign, Ticket: -1}
+	if got := e2.String(); got != "[00:00:00.000] proactive-campaign" {
+		t.Fatalf("String() = %q", got)
+	}
+}

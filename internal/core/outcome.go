@@ -3,89 +3,103 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bus"
+	"repro/internal/exec"
 	"repro/internal/faults"
-	"repro/internal/robot"
 	"repro/internal/sim"
 	"repro/internal/ticket"
-	"repro/internal/topology"
-	"repro/internal/workforce"
 )
 
 // onRobotOutcome handles a completed robotic task.
-func (c *Controller) onRobotOutcome(w *workItem, out robot.Outcome) {
-	c.stats.CascadesDuringOps += len(out.Effects)
-	c.store.Record(w.t, ticket.Attempt{
+func (a *Act) onRobotOutcome(w *workItem, out exec.Outcome) {
+	c := a.c
+	c.stats.CascadesDuringOps += out.Touched
+	c.d.Store.Record(w.t, ticket.Attempt{
 		Action:  out.Task.Action,
 		End:     out.Task.End,
-		Actor:   out.Unit.Name,
-		At:      c.eng.Now(),
-		Fixed:   out.Result.Fixed,
+		Actor:   out.Actor,
+		At:      c.d.Eng.Now(),
+		Fixed:   out.Fixed,
 		Note:    out.Note,
-		Touched: len(out.Effects),
+		Touched: out.Touched,
 	})
 	w.active = false
 	w.attempts++
+	a.publishOutcome(w, out, true)
 	// The unit just freed can serve other queued tickets.
-	defer c.kickDispatch()
+	defer a.kickDispatch()
 
 	switch {
-	case out.Completed && out.Result.Fixed:
-		c.settle(w, out.Task.Action)
+	case out.Completed && out.Fixed:
+		a.settle(w, out.Task.Action)
 	case out.Stockout:
 		// Parts on order: retry later without escalating the ladder. A
 		// stockout is not a physical attempt. Park the item so dispatch
 		// passes do not hammer the empty shelf in the meantime.
 		w.attempts--
-		w.notBefore = c.eng.Now() + c.cfg.StockoutRetry
+		w.notBefore = c.d.Eng.Now() + c.cfg.StockoutRetry
 		c.log(EvStockoutWait, w.t.ID, w.t.Link.Name(), out.Note)
-		c.eng.After(c.cfg.StockoutRetry, "stockout-retry", c.kickForTicket(w))
+		c.d.Eng.After(c.cfg.StockoutRetry, "stockout-retry", a.kickForTicket(w))
 	case out.NeedsHuman:
 		c.stats.EscalationsToHuman++
 		w.forceHuman = true
 		c.log(EvEscalateHuman, w.t.ID, w.t.Link.Name(), out.Note)
-		c.eng.After(0, "escalate-human", c.kickForTicket(w))
+		c.d.Eng.After(0, "escalate-human", a.kickForTicket(w))
 	default:
 		// Physically performed but the link is still broken: escalate the
 		// ladder.
 		w.stage++
-		c.afterFailedAttempt(w)
+		a.afterFailedAttempt(w)
 	}
 }
 
 // onHumanOutcome handles a completed technician task.
-func (c *Controller) onHumanOutcome(w *workItem, out workforce.Outcome) {
-	c.stats.CascadesDuringOps += len(out.Effects)
-	c.store.Record(w.t, ticket.Attempt{
+func (a *Act) onHumanOutcome(w *workItem, out exec.Outcome) {
+	c := a.c
+	c.stats.CascadesDuringOps += out.Touched
+	c.d.Store.Record(w.t, ticket.Attempt{
 		Action:  out.Task.Action,
 		End:     out.Task.End,
-		Actor:   out.Tech.Name,
-		At:      c.eng.Now(),
-		Fixed:   out.Result.Fixed,
-		Note:    out.Result.Note,
-		Touched: len(out.Effects),
+		Actor:   out.Actor,
+		At:      c.d.Eng.Now(),
+		Fixed:   out.Fixed,
+		Note:    out.Note,
+		Touched: out.Touched,
 	})
 	w.active = false
 	w.attempts++
 	w.forceHuman = false // the human attempt happened; robots may retry next
+	a.publishOutcome(w, out, false)
 	// The technician just freed can serve other queued tickets.
-	defer c.kickDispatch()
+	defer a.kickDispatch()
 
 	switch {
-	case out.Completed && out.Result.Fixed:
-		c.settle(w, out.Task.Action)
+	case out.Completed && out.Fixed:
+		a.settle(w, out.Task.Action)
 	case out.Stockout:
 		w.attempts--
-		w.notBefore = c.eng.Now() + c.cfg.StockoutRetry
-		c.eng.After(c.cfg.StockoutRetry, "stockout-retry", c.kickForTicket(w))
+		w.notBefore = c.d.Eng.Now() + c.cfg.StockoutRetry
+		c.d.Eng.After(c.cfg.StockoutRetry, "stockout-retry", a.kickForTicket(w))
 	default:
 		w.stage++
-		c.afterFailedAttempt(w)
+		a.afterFailedAttempt(w)
 	}
+}
+
+// publishOutcome announces the attempt on act.outcome for observers (taps,
+// the daemon's event stream); nothing in the pipeline consumes it.
+func (a *Act) publishOutcome(w *workItem, out exec.Outcome, robot bool) {
+	a.c.d.Bus.Publish(bus.TopicOutcome, bus.WorkOutcome{
+		Ticket: w.t.ID, Link: w.t.Link, Actor: out.Actor, Robot: robot,
+		Action: out.Task.Action, Completed: out.Completed, Fixed: out.Fixed,
+		Note: out.Note,
+	})
 }
 
 // afterFailedAttempt decides between another ladder attempt and parking the
 // ticket as chronic.
-func (c *Controller) afterFailedAttempt(w *workItem) {
+func (a *Act) afterFailedAttempt(w *workItem) {
+	c := a.c
 	if w.attempts >= c.cfg.MaxAttempts {
 		if !w.chronic {
 			w.chronic = true
@@ -97,16 +111,16 @@ func (c *Controller) afterFailedAttempt(w *workItem) {
 		// each rung), parking for half a day only between full cycles —
 		// parking mid-cycle would retry the same first rung forever.
 		if w.stage%len(faults.AllActions) == 0 {
-			w.notBefore = c.eng.Now() + 12*sim.Hour
-			c.eng.After(12*sim.Hour, "chronic-retry", c.kickForTicket(w))
+			w.notBefore = c.d.Eng.Now() + 12*sim.Hour
+			c.d.Eng.After(12*sim.Hour, "chronic-retry", a.kickForTicket(w))
 			return
 		}
 	}
-	c.eng.After(0, "ladder-escalate", c.kickForTicket(w))
+	c.d.Eng.After(0, "ladder-escalate", a.kickForTicket(w))
 }
 
 // kickForTicket returns a dispatch closure for one ticket.
-func (c *Controller) kickForTicket(w *workItem) func() {
+func (a *Act) kickForTicket(w *workItem) func() {
 	return func() {
 		if w.t.Status == ticket.Resolved || w.t.Status == ticket.Cancelled {
 			return
@@ -114,86 +128,37 @@ func (c *Controller) kickForTicket(w *workItem) func() {
 		if w.active {
 			return
 		}
-		c.tryStart(w)
+		a.tryStart(w)
 		// tryStart may have found no free resources; a global dispatch pass
 		// will pick the ticket up when something frees.
 	}
 }
 
 // settle verifies the repair took (observably healthy) and resolves the
-// ticket, feeding the proactive planner. A repair that reports fixed but
-// leaves the link unhealthy (replaced the wrong part of a multi-symptom
-// link) escalates instead.
-func (c *Controller) settle(w *workItem, action faults.Action) {
+// ticket, announcing it on triage.ticket so the Planner's campaign
+// bookkeeping sees the fix. A repair that reports fixed but leaves the link
+// unhealthy (replaced the wrong part of a multi-symptom link) escalates
+// instead.
+func (a *Act) settle(w *workItem, action faults.Action) {
+	c := a.c
 	t := w.t
-	if c.inj.Observable(t.Link.ID) != faults.Healthy {
+	if c.d.Inj.Observable(t.Link.ID) != faults.Healthy {
 		w.stage++
-		c.afterFailedAttempt(w)
+		a.afterFailedAttempt(w)
 		return
 	}
-	c.store.Resolve(t)
+	c.d.Store.Resolve(t)
 	c.stats.TicketsResolved++
 	c.log(EvTicketResolved, t.ID, t.Link.Name(),
 		fmt.Sprintf("by %v after %d attempt(s), window %v", action, len(t.Attempts), t.ServiceWindow()))
-	delete(c.work, t.ID)
-	if t.Kind != ticket.Reactive {
-		// Campaign bookkeeping only tracks reactive fixes.
-		c.kickDispatch()
-		return
-	}
-	if action == faults.Reseat {
-		c.noteReseatFix(t.Link)
-	}
-	c.kickDispatch()
-}
-
-// noteReseatFix records a successful reseat per switch and triggers a
-// proactive campaign when the threshold is crossed (§4: "if several links
-// on a switch have been fixed by reseating transceivers, the system could
-// proactively reseat all transceivers on that switch").
-func (c *Controller) noteReseatFix(l *topology.Link) {
-	if !c.cfg.Proactive {
-		return
-	}
-	for _, dev := range []*topology.Device{l.A.Device, l.B.Device} {
-		if !dev.Kind.IsSwitch() {
-			continue
-		}
-		cut := c.eng.Now() - c.cfg.ProactiveWindow
-		log := c.reseatLog[dev.ID]
-		kept := log[:0]
-		for _, at := range log {
-			if at >= cut {
-				kept = append(kept, at)
-			}
-		}
-		kept = append(kept, c.eng.Now())
-		c.reseatLog[dev.ID] = kept
-		if len(kept) >= c.cfg.ProactiveTrigger {
-			c.reseatLog[dev.ID] = nil // reset the campaign trigger
-			c.launchCampaign(dev)
-		}
-	}
-}
-
-// launchCampaign opens proactive reseat tickets for every healthy pluggable
-// link on the switch that has no open ticket.
-func (c *Controller) launchCampaign(dev *topology.Device) {
-	c.stats.ProactiveCampaigns++
-	c.log(EvProactiveCampaign, -1, dev.Name,
-		"several reseat fixes on this switch: reseating all its transceivers")
-	for _, np := range c.net.Neighbors(dev.ID) {
-		l := np.Link
-		if !l.Cable.Class.NeedsTransceiver() {
-			continue
-		}
-		if c.inj.Observable(l.ID) != faults.Healthy {
-			continue // already has or will get a reactive ticket
-		}
-		if c.store.OpenFor(l.ID) != nil {
-			continue
-		}
-		c.stats.ProactiveTasks++
-		c.openTicket(l, ticket.Proactive, faults.Healthy, ticket.P2)
-	}
+	delete(a.work, t.ID)
+	// The Planner reacts inside this publish: a reactive reseat fix may
+	// trigger a proactive campaign, whose tickets are opened (and their
+	// dispatch kicks scheduled) before the final kick below — exactly the
+	// pre-refactor order.
+	c.d.Bus.Publish(bus.TopicTicket, bus.TicketEvent{
+		Kind: bus.TicketResolved, ID: t.ID, Link: t.Link,
+		Action: action, Reactive: t.Kind == ticket.Reactive,
+	})
+	a.kickDispatch()
 }

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Planner is the pipeline's background Plan stage: it watches resolved
+// tickets for reseat-campaign triggers (§4) and runs the daily predictive
+// snapshot/score cycle, publishing plan.request events that Triage turns
+// into proactive/predictive tickets. (Per-ticket action planning lives in
+// the Policy interface, consulted by Act; the Planner owns the work that
+// originates tickets rather than resolving them.)
+type Planner struct {
+	c *Controller
+
+	reseatLog map[topology.DeviceID][]sim.Time
+
+	predictor *Predictor
+	collector *sampleCollector
+}
+
+func newPlanner(c *Controller) *Planner {
+	p := &Planner{c: c, reseatLog: make(map[topology.DeviceID][]sim.Time)}
+	if c.cfg.Predictive {
+		p.predictor = NewPredictor()
+		p.collector = newSampleCollector(c.cfg.PredictHorizon)
+	}
+	return p
+}
+
+// onAlert feeds the sample collector; subscribed only when prediction is
+// enabled.
+func (p *Planner) onAlert(ev bus.Event) {
+	if a, ok := ev.Payload.(bus.Alert); ok {
+		p.collector.observeAlert(a)
+	}
+}
+
+// onTicketEvent watches for resolved reactive reseats — the campaign
+// trigger signal.
+func (p *Planner) onTicketEvent(ev bus.Event) {
+	te, ok := ev.Payload.(bus.TicketEvent)
+	if !ok || te.Kind != bus.TicketResolved || !te.Reactive {
+		return
+	}
+	if te.Action == faults.Reseat {
+		p.noteReseatFix(te.Link)
+	}
+}
+
+// noteReseatFix records a successful reseat per switch and triggers a
+// proactive campaign when the threshold is crossed (§4: "if several links
+// on a switch have been fixed by reseating transceivers, the system could
+// proactively reseat all transceivers on that switch").
+func (p *Planner) noteReseatFix(l *topology.Link) {
+	c := p.c
+	if !c.cfg.Proactive {
+		return
+	}
+	for _, dev := range []*topology.Device{l.A.Device, l.B.Device} {
+		if !dev.Kind.IsSwitch() {
+			continue
+		}
+		cut := c.d.Eng.Now() - c.cfg.ProactiveWindow
+		log := p.reseatLog[dev.ID]
+		kept := log[:0]
+		for _, at := range log {
+			if at >= cut {
+				kept = append(kept, at)
+			}
+		}
+		kept = append(kept, c.d.Eng.Now())
+		p.reseatLog[dev.ID] = kept
+		if len(kept) >= c.cfg.ProactiveTrigger {
+			p.reseatLog[dev.ID] = nil // reset the campaign trigger
+			p.launchCampaign(dev)
+		}
+	}
+}
+
+// launchCampaign requests proactive reseats for every healthy pluggable
+// link on the switch that has no open ticket.
+func (p *Planner) launchCampaign(dev *topology.Device) {
+	c := p.c
+	c.stats.ProactiveCampaigns++
+	c.log(EvProactiveCampaign, -1, dev.Name,
+		"several reseat fixes on this switch: reseating all its transceivers")
+	for _, np := range c.d.Net.Neighbors(dev.ID) {
+		l := np.Link
+		if !l.Cable.Class.NeedsTransceiver() {
+			continue
+		}
+		if c.d.Inj.Observable(l.ID) != faults.Healthy {
+			continue // already has or will get a reactive ticket
+		}
+		if c.d.Store.OpenFor(l.ID) != nil {
+			continue
+		}
+		c.stats.ProactiveTasks++
+		c.d.Bus.Publish(bus.TopicRequest, bus.RepairRequest{Link: l})
+	}
+}
+
+// startPredictiveLoop schedules the daily snapshot/score cycle and the
+// one-time training event.
+func (p *Planner) startPredictiveLoop() {
+	c := p.c
+	lastPredicted := make(map[topology.LinkID]sim.Time)
+	const cooldown = 14 * sim.Day
+
+	c.d.Eng.Every(sim.Day, sim.Day, "predict-cycle", func(at sim.Time) {
+		for _, l := range c.d.Net.SwitchLinks() {
+			if !l.Cable.Class.NeedsTransceiver() {
+				continue
+			}
+			// Snapshot only currently-healthy links: the prediction task is
+			// "healthy now, fails within the horizon", so samples of links
+			// that are already broken would poison both classes.
+			if c.d.Inj.Observable(l.ID) != faults.Healthy {
+				continue
+			}
+			feats := p.features(l.ID)
+			p.collector.add(l.ID, at, feats)
+			if !p.predictor.Trained {
+				continue
+			}
+			if c.d.Store.OpenFor(l.ID) != nil {
+				continue
+			}
+			if at-lastPredicted[l.ID] < cooldown {
+				continue
+			}
+			if score := p.predictor.Score(feats); score >= c.cfg.PredictThreshold {
+				lastPredicted[l.ID] = at
+				c.stats.PredictiveTasks++
+				c.log(EvPredictiveTicket, -1, l.Name(),
+					fmt.Sprintf("fail-soon score %.2f", score))
+				c.d.Bus.Publish(bus.TopicRequest, bus.RepairRequest{Link: l, Predictive: true})
+			}
+		}
+	})
+	c.d.Eng.Schedule(c.d.Eng.Now()+c.cfg.PredictTrainAfter, "predict-train", func() {
+		X, y := p.collector.dataset(c.d.Eng.Now())
+		p.predictor.Train(X, y)
+	})
+}
+
+// features reads the wired feature source.
+func (p *Planner) features(id topology.LinkID) []float64 {
+	if p.c.d.Features == nil {
+		return nil
+	}
+	return p.c.d.Features(id)
+}

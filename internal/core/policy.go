@@ -1,0 +1,105 @@
+package core
+
+import (
+	"repro/internal/diagnosis"
+	"repro/internal/faults"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+)
+
+// Decision is one planning verdict: what to do to a ticketed link, at which
+// end, and the (possibly corrected) escalation stage to record.
+type Decision struct {
+	Action faults.Action
+	End    faults.End
+	// Stage is the stage the work item should carry after this decision; a
+	// policy may fast-forward it (e.g. a reseat requested on a non-pluggable
+	// cable jumps straight to cable replacement).
+	Stage int
+}
+
+// Policy is the Plan stage's pluggable brain: it picks repair actions and
+// computes the impact set a manipulation will disturb. Implementations must
+// be deterministic given the engine's RNG streams; the default is
+// LadderPolicy. Swapping in a custom Policy (via Deps.Policy or
+// scenario.Options.Policy) changes escalation behaviour without touching
+// dispatch code.
+type Policy interface {
+	// Decide returns the action for a ticket at the given escalation stage.
+	Decide(t *ticket.Ticket, stage int) Decision
+	// ImpactSet returns the links to pre-drain before manipulating the port:
+	// the target itself plus everything the manipulation will disturb, in
+	// drain order.
+	ImpactSet(target *topology.Link, port *topology.Port) []topology.LinkID
+}
+
+// LadderPolicy is the built-in escalation-ladder policy: walk
+// faults.AllActions rung by rung, diagnose which end to service on each
+// attempt, and escalate on failure. Proactive/predictive tickets on healthy
+// links reseat-then-clean and never escalate to replacement.
+type LadderPolicy struct {
+	diag *diagnosis.Engine
+	inj  *faults.Injector
+}
+
+// NewLadderPolicy builds the default policy over a diagnosis engine and the
+// fault injector's disturbance reporting.
+func NewLadderPolicy(diag *diagnosis.Engine, inj *faults.Injector) *LadderPolicy {
+	return &LadderPolicy{diag: diag, inj: inj}
+}
+
+// Decide implements Policy.
+func (p *LadderPolicy) Decide(t *ticket.Ticket, stage int) Decision {
+	if t.Kind != ticket.Reactive && t.Symptom == faults.Healthy {
+		// Proactive/predictive maintenance on a healthy link: stage 0 is a
+		// reseat, stage 1 a clean; never escalate to replacement. Both get
+		// end A (both ends are serviced across a campaign).
+		a := faults.Reseat
+		if stage >= 1 {
+			a = faults.Clean
+		}
+		return Decision{Action: a, End: faults.EndA, Stage: stage}
+	}
+	// The ladder wraps: if every rung failed (a wrong-end diagnosis can
+	// defeat even replacements), start over with a fresh diagnostic pass
+	// rather than hammering the top rung forever.
+	s := stage % len(faults.AllActions)
+	a := faults.AllActions[s]
+	// Cleaning only applies to separable fiber; skip that rung otherwise.
+	if a == faults.Clean && !t.Link.HasSeparableFiber() {
+		s = (s + 1) % len(faults.AllActions)
+		a = faults.AllActions[s]
+	}
+	out := stage
+	// Reseat requires a pluggable transceiver.
+	if a == faults.Reseat && !t.Link.Cable.Class.NeedsTransceiver() {
+		a = faults.ReplaceCable
+		out = 3
+	}
+	return Decision{Action: a, End: p.chooseEnd(t.Link, t.Symptom, a), Stage: out}
+}
+
+// chooseEnd diagnoses the link to decide which end to service.
+func (p *LadderPolicy) chooseEnd(l *topology.Link, symptom faults.Health, action faults.Action) faults.End {
+	if symptom == faults.Healthy {
+		return faults.EndA
+	}
+	d := p.diag.Diagnose(l, symptom)
+	if action == faults.ReplaceSwitchPort {
+		// Switch work must target a switch end.
+		if !d.End.Port(l).Device.Kind.IsSwitch() {
+			return d.End.Opposite()
+		}
+	}
+	return d.End
+}
+
+// ImpactSet implements Policy: the target plus every cable the manipulation
+// will contact (the robot API's pre-report).
+func (p *LadderPolicy) ImpactSet(target *topology.Link, port *topology.Port) []topology.LinkID {
+	ids := []topology.LinkID{target.ID}
+	for _, l := range p.inj.DisturbedBy(port) {
+		ids = append(ids, l.ID)
+	}
+	return ids
+}

@@ -1,13 +1,10 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
-	"repro/internal/faults"
+	"repro/internal/bus"
 	"repro/internal/sim"
-	"repro/internal/telemetry"
-	"repro/internal/ticket"
 	"repro/internal/topology"
 )
 
@@ -185,8 +182,8 @@ func (sc *sampleCollector) add(link topology.LinkID, at sim.Time, features []flo
 }
 
 // observeAlert labels recent snapshots of a failing link positive.
-func (sc *sampleCollector) observeAlert(a telemetry.Alert) {
-	if a.Kind == telemetry.AlertLinkRecovered {
+func (sc *sampleCollector) observeAlert(a bus.Alert) {
+	if a.Kind == bus.AlertLinkRecovered {
 		return
 	}
 	cut := a.At - sc.horizon
@@ -208,58 +205,4 @@ func (sc *sampleCollector) dataset(now sim.Time) (X [][]float64, y []bool) {
 		}
 	}
 	return X, y
-}
-
-// startPredictiveLoop schedules the daily snapshot/score cycle and the
-// one-time training event.
-func (c *Controller) startPredictiveLoop() {
-	lastPredicted := make(map[topology.LinkID]sim.Time)
-	const cooldown = 14 * sim.Day
-
-	c.eng.Every(sim.Day, sim.Day, "predict-cycle", func(at sim.Time) {
-		for _, l := range c.net.SwitchLinks() {
-			if !l.Cable.Class.NeedsTransceiver() {
-				continue
-			}
-			// Snapshot only currently-healthy links: the prediction task is
-			// "healthy now, fails within the horizon", so samples of links
-			// that are already broken would poison both classes.
-			if c.inj.Observable(l.ID) != faults.Healthy {
-				continue
-			}
-			feats := c.mon.Snapshot(l.ID).Vector()
-			c.collector.add(l.ID, at, feats)
-			if !c.predictor.Trained {
-				continue
-			}
-			if c.store.OpenFor(l.ID) != nil {
-				continue
-			}
-			if at-lastPredicted[l.ID] < cooldown {
-				continue
-			}
-			if score := c.predictor.Score(feats); score >= c.cfg.PredictThreshold {
-				lastPredicted[l.ID] = at
-				c.stats.PredictiveTasks++
-				c.log(EvPredictiveTicket, -1, l.Name(),
-					fmt.Sprintf("fail-soon score %.2f", score))
-				c.openTicket(l, ticket.Predictive, faults.Healthy, ticket.P2)
-			}
-		}
-	})
-	c.eng.Schedule(c.eng.Now()+c.cfg.PredictTrainAfter, "predict-train", func() {
-		X, y := c.collector.dataset(c.eng.Now())
-		c.predictor.Train(X, y)
-	})
-}
-
-// PredictorHandle exposes the trained predictor for experiment scoring.
-func (c *Controller) PredictorHandle() *Predictor { return c.predictor }
-
-// CollectorDataset exposes matured labelled samples for experiment scoring.
-func (c *Controller) CollectorDataset() (X [][]float64, y []bool) {
-	if c.collector == nil {
-		return nil, nil
-	}
-	return c.collector.dataset(c.eng.Now())
 }

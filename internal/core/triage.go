@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/faults"
+	"repro/internal/ticket"
+	"repro/internal/topology"
+)
+
+// Triage is the pipeline stage that turns Sense-stage alerts and Plan-stage
+// repair requests into ticket lifecycle transitions. It consumes
+// sense.alert and plan.request and publishes triage.ticket; Act maintains
+// its work queue from those events.
+type Triage struct {
+	c *Controller
+}
+
+func newTriage(c *Controller) *Triage { return &Triage{c: c} }
+
+// onAlert consumes one sense.alert event.
+func (tr *Triage) onAlert(ev bus.Event) {
+	a, ok := ev.Payload.(bus.Alert)
+	if !ok {
+		return
+	}
+	c := tr.c
+	switch a.Kind {
+	case bus.AlertLinkDown:
+		tr.openTicket(a.Link, ticket.Reactive, faults.Down, ticket.P0)
+	case bus.AlertLinkFlapping:
+		tr.openTicket(a.Link, ticket.Reactive, faults.Flapping, ticket.P1)
+	case bus.AlertLinkRecovered:
+		// A link that healed with no physical work in flight closes its
+		// ticket (transient or masked fault cleared by itself).
+		if t := c.d.Store.OpenFor(a.Link.ID); t != nil {
+			if !c.act.inFlight(t.ID) {
+				c.d.Store.Cancel(t)
+				c.d.Bus.Publish(bus.TopicTicket, bus.TicketEvent{
+					Kind: bus.TicketCancelled, ID: t.ID, Link: a.Link,
+				})
+				c.stats.TicketsCancelled++
+				c.log(EvTicketCancelled, t.ID, a.Link.Name(), "recovered without intervention")
+			}
+		}
+	}
+}
+
+// onRequest consumes one plan.request event: background maintenance the
+// Planner wants opened on a healthy link.
+func (tr *Triage) onRequest(ev bus.Event) {
+	r, ok := ev.Payload.(bus.RepairRequest)
+	if !ok {
+		return
+	}
+	kind := ticket.Proactive
+	if r.Predictive {
+		kind = ticket.Predictive
+	}
+	tr.openTicket(r.Link, kind, faults.Healthy, ticket.P2)
+}
+
+// openTicket files (or dedups into) a ticket and announces the transition;
+// Act picks the ticket up from the triage.ticket event.
+func (tr *Triage) openTicket(l *topology.Link, kind ticket.Kind, symptom faults.Health, prio ticket.Priority) {
+	c := tr.c
+	t, created := c.d.Store.Open(l, kind, symptom, prio)
+	if !created {
+		c.d.Bus.Publish(bus.TopicTicket, bus.TicketEvent{
+			Kind: bus.TicketDeduped, ID: t.ID, Link: l,
+		})
+		return
+	}
+	c.stats.TicketsOpened++
+	c.d.Bus.Publish(bus.TopicTicket, bus.TicketEvent{
+		Kind: bus.TicketOpened, ID: t.ID, Link: l, Reactive: kind == ticket.Reactive,
+	})
+	detail := fmt.Sprintf("%v %v %v", kind, symptom, prio)
+	if t.RepeatOf >= 0 {
+		detail += fmt.Sprintf(" (repeat of T%d, start stage %d)", t.RepeatOf, t.StartStage)
+	}
+	c.log(EvTicketOpened, t.ID, l.Name(), detail)
+}

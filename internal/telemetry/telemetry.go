@@ -9,6 +9,7 @@ package telemetry
 import (
 	"fmt"
 
+	"repro/internal/bus"
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -106,6 +107,7 @@ type Monitor struct {
 	cfg      Config
 	links    []linkState
 	handlers []Handler
+	bus      *bus.Bus
 }
 
 // NewMonitor creates a monitor. Subscribe it to the fault injector with
@@ -118,6 +120,11 @@ func NewMonitor(eng *sim.Engine, net *topology.Network, cfg Config) *Monitor {
 // OnAlert registers a handler for all alerts.
 func (m *Monitor) OnAlert(h Handler) { m.handlers = append(m.handlers, h) }
 
+// PublishTo makes the monitor the pipeline's Sense stage: every alert is
+// additionally published on the bus's sense.alert topic, where Triage and
+// Plan consume it. Direct OnAlert handlers keep working and run first.
+func (m *Monitor) PublishTo(b *bus.Bus) { m.bus = b }
+
 // Counters returns a copy of the monitoring state for a link.
 func (m *Monitor) Counters(id topology.LinkID) Counters {
 	ls := &m.links[id]
@@ -127,10 +134,15 @@ func (m *Monitor) Counters(id topology.LinkID) Counters {
 	return c
 }
 
-// emit delivers an alert to every handler.
+// emit delivers an alert to every handler, then to the bus.
 func (m *Monitor) emit(a Alert) {
 	for _, h := range m.handlers {
 		h(a)
+	}
+	if m.bus != nil {
+		m.bus.Publish(bus.TopicAlert, bus.Alert{
+			Kind: bus.AlertKind(a.Kind), Link: a.Link, At: a.At, Detail: a.Detail,
+		})
 	}
 }
 
