@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench ci
+.PHONY: all build test race vet fmt fmt-check bench experiments-quick ci
 
 all: build
 
@@ -27,6 +27,12 @@ fmt-check:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/experiments -quick -bench-json BENCH_experiments.json > /dev/null
+
+# Smoke-run the quick experiment suite on all host cores (output discarded;
+# the determinism tests cover correctness, this covers the CLI path).
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick -parallel 0 > /dev/null
 
 ci:
 	./ci.sh

@@ -31,7 +31,7 @@ func quick() scenario.RepairParams {
 // level.
 func BenchmarkServiceWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := scenario.T1ServiceWindow(quick()); err != nil {
+		if _, _, err := scenario.T1ServiceWindow(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +40,7 @@ func BenchmarkServiceWindow(b *testing.B) {
 // BenchmarkEscalationLadder regenerates T2: ladder outcome shares.
 func BenchmarkEscalationLadder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T2Escalation(quick()); err != nil {
+		if _, err := scenario.T2Escalation(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -49,7 +49,7 @@ func BenchmarkEscalationLadder(b *testing.B) {
 // BenchmarkAutomationLevels regenerates F2: availability vs level.
 func BenchmarkAutomationLevels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := scenario.F2Availability(quick()); err != nil {
+		if _, _, err := scenario.F2Availability(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -59,7 +59,7 @@ func BenchmarkAutomationLevels(b *testing.B) {
 // repair policy (the impact-aware pre-drain ablation).
 func BenchmarkCascadeMitigation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := scenario.F3Cascades(quick()); err != nil {
+		if _, _, err := scenario.F3Cascades(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,7 +70,7 @@ func BenchmarkProactive(b *testing.B) {
 	p := quick()
 	p.Duration = 90 * sim.Day
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T3Proactive(p); err != nil {
+		if _, err := scenario.T3Proactive(scenario.Serial(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,7 +81,7 @@ func BenchmarkPredictor(b *testing.B) {
 	p := quick()
 	p.Duration = 120 * sim.Day
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T4Predictor(p); err != nil {
+		if _, err := scenario.T4Predictor(scenario.Serial(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -90,7 +90,7 @@ func BenchmarkPredictor(b *testing.B) {
 // BenchmarkRightProvisioning regenerates T5: redundancy vs repair regime.
 func BenchmarkRightProvisioning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T5RightProvisioning(quick()); err != nil {
+		if _, err := scenario.T5RightProvisioning(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -99,7 +99,7 @@ func BenchmarkRightProvisioning(b *testing.B) {
 // BenchmarkMaintainabilityIndex regenerates F4: the topology tradeoff.
 func BenchmarkMaintainabilityIndex(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := scenario.F4Maintainability(); err != nil {
+		if _, _, err := scenario.F4Maintainability(scenario.Serial()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -108,7 +108,7 @@ func BenchmarkMaintainabilityIndex(b *testing.B) {
 // BenchmarkFleetSizing regenerates F5: window/backlog vs robot count.
 func BenchmarkFleetSizing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, _, err := scenario.F5FleetSizing(quick()); err != nil {
+		if _, _, err := scenario.F5FleetSizing(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -117,7 +117,7 @@ func BenchmarkFleetSizing(b *testing.B) {
 // BenchmarkRobotPrimitives regenerates T6: robot task micro-timings.
 func BenchmarkRobotPrimitives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T6RobotTimings(40, 5); err != nil {
+		if _, err := scenario.T6RobotTimings(scenario.Serial(), 40, 5); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +127,7 @@ func BenchmarkRobotPrimitives(b *testing.B) {
 // incident.
 func BenchmarkFlapTailLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.F6FlapLatency(3); err != nil {
+		if _, err := scenario.F6FlapLatency(scenario.Serial(), 3); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -138,7 +138,7 @@ func BenchmarkAICluster(b *testing.B) {
 	p := quick()
 	p.Duration = 90 * sim.Day
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T7AICluster(p); err != nil {
+		if _, err := scenario.T7AICluster(scenario.Serial(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +147,7 @@ func BenchmarkAICluster(b *testing.B) {
 // BenchmarkDiversity regenerates T8: task success vs hardware diversity.
 func BenchmarkDiversity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.T8Diversity(80, 7); err != nil {
+		if _, err := scenario.T8Diversity(scenario.Serial(), 80, 7); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func BenchmarkDiversity(b *testing.B) {
 // BenchmarkRepeatWindowAblation regenerates A1: dedup-window sensitivity.
 func BenchmarkRepeatWindowAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.A1RepeatWindow(quick()); err != nil {
+		if _, err := scenario.A1RepeatWindow(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -165,7 +165,7 @@ func BenchmarkRepeatWindowAblation(b *testing.B) {
 // BenchmarkMobilityScopeAblation regenerates A2: rack/row/hall scopes.
 func BenchmarkMobilityScopeAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := scenario.A2MobilityScope(quick()); err != nil {
+		if _, err := scenario.A2MobilityScope(scenario.Serial(), quick()); err != nil {
 			b.Fatal(err)
 		}
 	}

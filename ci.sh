@@ -20,4 +20,7 @@ fi
 echo "== go test -race"
 go test -race ./...
 
+echo "== experiments smoke (quick suite, parallel)"
+make experiments-quick
+
 echo "CI green"

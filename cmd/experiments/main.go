@@ -1,211 +1,103 @@
 // experiments regenerates every table and figure of EXPERIMENTS.md.
 //
-//	experiments              # run the full suite (accelerated year, 3 seeds)
-//	experiments -quick       # fast pass (small hall, 90 days, 2 seeds)
-//	experiments -run T1,F4   # selected experiments only
-//	experiments -csv DIR     # also write CSV files into DIR
+//	experiments                  # full suite (accelerated year, 3 seeds), all cores
+//	experiments -quick           # fast pass (small hall, 90 days, 2 seeds)
+//	experiments -run T1,F4       # selected experiments only (unknown ids are an error)
+//	experiments -csv DIR         # also write CSV files into DIR
+//	experiments -parallel 4      # cap the simulation worker pool at 4
+//	experiments -serial          # one worker, no goroutines (bit-identical to -parallel N)
+//	experiments -bench-json PATH # write the BENCH perf artifact (timings, cells/sec)
+//
+// Every experiment decomposes into independent (experiment × level/policy
+// × seed) simulation cells; the harness fans the cells across a worker
+// pool and merges results in deterministic cell order, so output is
+// byte-identical to a serial run at fixed seeds.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
-	"repro/internal/metrics"
 	"repro/internal/scenario"
 )
 
-type artifact struct {
-	name string
-	tab  *metrics.Table
-	fig  *metrics.Figure
-}
-
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "small hall, shorter runs")
-		runs  = flag.String("run", "", "comma-separated experiment ids (T1,F1,T2,F2,F3,T3,T4,T5,F4,F5,T6,F6,T7,T8,A1,A2); empty = all")
-		csv   = flag.String("csv", "", "directory to write CSV artifacts into")
+		quick     = flag.Bool("quick", false, "small hall, shorter runs")
+		runs      = flag.String("run", "", "comma-separated experiment ids ("+strings.Join(scenario.ExperimentIDs(), ",")+"); empty = all")
+		csv       = flag.String("csv", "", "directory to write CSV artifacts into")
+		parallel  = flag.Int("parallel", 0, "simulation worker-pool size; 0 = all host cores")
+		serial    = flag.Bool("serial", false, "run everything on one worker (escape hatch; same output)")
+		benchJSON = flag.String("bench-json", "", "write a BENCH_experiments.json perf artifact to this path")
 	)
 	flag.Parse()
 
-	params := scenario.DefaultRepairParams()
-	if *quick {
-		params = scenario.QuickRepairParams()
-	}
-	selected := map[string]bool{}
-	for _, id := range strings.Split(*runs, ",") {
-		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
-			selected[id] = true
-		}
-	}
-	want := func(ids ...string) bool {
-		if len(selected) == 0 {
-			return true
-		}
-		for _, id := range ids {
-			if selected[id] {
-				return true
-			}
-		}
-		return false
-	}
-
-	var out []artifact
-	fail := func(id string, err error) {
-		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 
-	if want("T1", "F1") {
-		tab, fig, err := scenario.T1ServiceWindow(params)
-		if err != nil {
-			fail("T1/F1", err)
+	var ids []string
+	for _, id := range strings.Split(*runs, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
-		out = append(out, artifact{"T1", tab, nil}, artifact{"F1", nil, fig})
 	}
-	if want("T2") {
-		tab, err := scenario.T2Escalation(params)
-		if err != nil {
-			fail("T2", err)
-		}
-		out = append(out, artifact{"T2", tab, nil})
-	}
-	if want("F2") {
-		fig, tab, err := scenario.F2Availability(params)
-		if err != nil {
-			fail("F2", err)
-		}
-		out = append(out, artifact{"F2", tab, fig})
-	}
-	if want("F3") {
-		tab, fig, err := scenario.F3Cascades(params)
-		if err != nil {
-			fail("F3", err)
-		}
-		out = append(out, artifact{"F3", tab, fig})
-	}
-	if want("T3") {
-		tab, err := scenario.T3Proactive(params)
-		if err != nil {
-			fail("T3", err)
-		}
-		out = append(out, artifact{"T3", tab, nil})
-	}
-	if want("T4") {
-		tab, err := scenario.T4Predictor(params)
-		if err != nil {
-			fail("T4", err)
-		}
-		out = append(out, artifact{"T4", tab, nil})
-	}
-	if want("T5") {
-		tab, err := scenario.T5RightProvisioning(params)
-		if err != nil {
-			fail("T5", err)
-		}
-		out = append(out, artifact{"T5", tab, nil})
-	}
-	if want("F4") {
-		fig, tab, err := scenario.F4Maintainability()
-		if err != nil {
-			fail("F4", err)
-		}
-		out = append(out, artifact{"F4", tab, fig})
-	}
-	if want("F5") {
-		fig, tab, err := scenario.F5FleetSizing(params)
-		if err != nil {
-			fail("F5", err)
-		}
-		out = append(out, artifact{"F5", tab, fig})
-	}
-	if want("T6") {
-		reps := 200
-		if *quick {
-			reps = 60
-		}
-		tab, err := scenario.T6RobotTimings(reps, 5)
-		if err != nil {
-			fail("T6", err)
-		}
-		out = append(out, artifact{"T6", tab, nil})
-	}
-	if want("F6") {
-		fig, err := scenario.F6FlapLatency(3)
-		if err != nil {
-			fail("F6", err)
-		}
-		out = append(out, artifact{"F6", nil, fig})
-	}
-	if want("T7") {
-		tab, err := scenario.T7AICluster(params)
-		if err != nil {
-			fail("T7", err)
-		}
-		out = append(out, artifact{"T7", tab, nil})
-	}
-	if want("A1") {
-		tab, err := scenario.A1RepeatWindow(params)
-		if err != nil {
-			fail("A1", err)
-		}
-		out = append(out, artifact{"A1", tab, nil})
-	}
-	if want("A2") {
-		tab, err := scenario.A2MobilityScope(params)
-		if err != nil {
-			fail("A2", err)
-		}
-		out = append(out, artifact{"A2", tab, nil})
-	}
-	if want("T8") {
-		tasks := 400
-		if *quick {
-			tasks = 120
-		}
-		tab, err := scenario.T8Diversity(tasks, 7)
-		if err != nil {
-			fail("T8", err)
-		}
-		out = append(out, artifact{"T8", tab, nil})
+	exps, err := scenario.Select(ids)
+	if err != nil {
+		fail(err)
 	}
 
-	for _, a := range out {
-		fmt.Printf("\n########## %s ##########\n", a.name)
-		if a.tab != nil {
-			fmt.Println(a.tab)
-		}
-		if a.fig != nil {
-			fmt.Println(a.fig)
-		}
+	workers := *parallel
+	if *serial {
+		workers = 1
+	}
+	r := scenario.NewRunner(workers)
+	arts, bench, err := scenario.RunSuite(r, exps, scenario.DefaultSuiteParams(*quick))
+	if err != nil {
+		fail(err)
+	}
+
+	for _, a := range arts {
+		fmt.Print(a.Render())
 		if *csv != "" {
 			if err := writeCSV(*csv, a); err != nil {
-				fail(a.name, err)
+				fail(fmt.Errorf("%s: %w", a.ID, err))
 			}
 		}
 	}
-	if len(out) == 0 {
-		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
-		os.Exit(2)
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, bench); err != nil {
+			fail(err)
+		}
 	}
 }
 
-func writeCSV(dir string, a artifact) error {
+func writeCSV(dir string, a scenario.Artifact) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if a.tab != nil {
-		if err := os.WriteFile(filepath.Join(dir, a.name+"_table.csv"), []byte(a.tab.CSV()), 0o644); err != nil {
+	if a.Tab != nil {
+		if err := os.WriteFile(filepath.Join(dir, a.ID+"_table.csv"), []byte(a.Tab.CSV()), 0o644); err != nil {
 			return err
 		}
 	}
-	if a.fig != nil {
-		if err := os.WriteFile(filepath.Join(dir, a.name+"_figure.csv"), []byte(a.fig.CSV()), 0o644); err != nil {
+	if a.Fig != nil {
+		if err := os.WriteFile(filepath.Join(dir, a.ID+"_figure.csv"), []byte(a.Fig.CSV()), 0o644); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+func writeBench(path string, b *scenario.Bench) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -127,8 +127,13 @@ func (b *Bus) Publish(t Topic, payload any) Event {
 	b.seq++
 	b.published++
 	b.depth++
+	// Snapshot the topic's subscriber list before taps run: a subscription
+	// created by a tap handler mid-delivery must not receive the event
+	// being delivered (deliver also bounds itself to the snapshot length,
+	// which covers subscriptions created by earlier topic subscribers).
+	subs := b.topics[t]
 	b.deliver(b.taps, ev)
-	b.deliver(b.topics[t], ev)
+	b.deliver(subs, ev)
 	b.depth--
 	b.maybeCompact()
 	return ev

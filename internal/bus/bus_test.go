@@ -73,6 +73,23 @@ func TestSubscribeMidDelivery(t *testing.T) {
 	if len(lateSeqs) != 1 || lateSeqs[0] != 1 {
 		t.Fatalf("late subscriber saw %v, want [1]", lateSeqs)
 	}
+
+	// The same guarantee holds when the subscription is created by a tap:
+	// taps run before topic subscribers, so without snapshotting the topic
+	// list before taps, a tap-created subscription would receive the very
+	// event that triggered it.
+	_, b2 := newBus()
+	var tapLateSeqs []uint64
+	b2.Tap(func(ev Event) {
+		if ev.Seq == 0 {
+			b2.Subscribe("t", func(ev Event) { tapLateSeqs = append(tapLateSeqs, ev.Seq) })
+		}
+	})
+	b2.Publish("t", nil) // seq 0: tap-created subscriber must miss this
+	b2.Publish("t", nil) // seq 1: tap-created subscriber sees this
+	if len(tapLateSeqs) != 1 || tapLateSeqs[0] != 1 {
+		t.Fatalf("tap-created subscriber saw %v, want [1]", tapLateSeqs)
+	}
 }
 
 // TestCancelMidDelivery: a subscription cancelled while the current event

@@ -102,6 +102,80 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestNearestRankSmallSamples pins the nearest-rank definition
+// (ceil(q*n)-1, clamped) on the small sample sizes where a truncating
+// index (int(q*(n-1))) visibly biases high quantiles low: p95 of two
+// samples must be the maximum, not the minimum.
+func TestNearestRankSmallSamples(t *testing.T) {
+	cases := []struct {
+		vals []float64
+		q    float64
+		want float64
+	}{
+		// n=1: every quantile is the single sample.
+		{[]float64{7}, 0, 7},
+		{[]float64{7}, 0.5, 7},
+		{[]float64{7}, 0.95, 7},
+		{[]float64{7}, 1, 7},
+		// n=2: median is the lower sample (rank ceil(1)=1); p95 and max
+		// are the upper one.
+		{[]float64{10, 20}, 0, 10},
+		{[]float64{10, 20}, 0.5, 10},
+		{[]float64{10, 20}, 0.95, 20},
+		{[]float64{10, 20}, 1, 20},
+		// n=3: median is the middle sample.
+		{[]float64{1, 5, 9}, 0, 1},
+		{[]float64{1, 5, 9}, 0.5, 5},
+		{[]float64{1, 5, 9}, 0.95, 9},
+		{[]float64{1, 5, 9}, 1, 9},
+		// Exact rank boundary with a binary-float product:
+		// 0.95*20 = 19.000000000000004 must still pick rank 19 (the
+		// 19th of 20 sorted samples), not clamp to the maximum.
+		{seq(20), 0.95, 19},
+		{seq(20), 0.5, 10},
+	}
+	for _, c := range cases {
+		var h Histogram
+		for _, v := range c.vals {
+			h.Add(v)
+		}
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("n=%d q=%v: got %v, want %v", len(c.vals), c.q, got, c.want)
+		}
+	}
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// TestP2SmallSampleFallback: below five samples P2 must report the same
+// nearest-rank quantile the exact histogram would.
+func TestP2SmallSampleFallback(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		p := NewP2(q)
+		var h Histogram
+		for _, x := range []float64{42, 3, 17} {
+			p.Add(x)
+			h.Add(x)
+		}
+		if got, want := p.Value(), h.Quantile(q); got != want {
+			t.Errorf("q=%v: p2 fallback %v, histogram %v", q, got, want)
+		}
+	}
+	// Two samples: a high quantile must pick the upper sample.
+	p := NewP2(0.95)
+	p.Add(10)
+	p.Add(20)
+	if v := p.Value(); v != 20 {
+		t.Fatalf("p95 of {10,20} = %v, want 20", v)
+	}
+}
+
 func TestP2AgainstExact(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	for _, q := range []float64{0.5, 0.9, 0.99} {

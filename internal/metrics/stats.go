@@ -75,14 +75,23 @@ func (h *Histogram) Quantile(q float64) float64 {
 		sort.Float64s(h.vals)
 		h.sorted = true
 	}
-	idx := int(q * float64(len(h.vals)-1))
+	return h.vals[nearestRank(q, len(h.vals))]
+}
+
+// nearestRank returns the 0-based index of the nearest-rank q-quantile of
+// n sorted samples: ceil(q*n)-1, clamped to [0, n-1]. Truncating instead
+// (int(q*(n-1))) biases high quantiles low on small samples — p95 of two
+// samples would return the minimum. The epsilon absorbs binary-float
+// artifacts like 0.95*20 = 19.000000000000004.
+func nearestRank(q float64, n int) int {
+	idx := int(math.Ceil(q*float64(n)-1e-9)) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(h.vals) {
-		idx = len(h.vals) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return h.vals[idx]
+	return idx
 }
 
 // Mean returns the sample mean.
@@ -226,8 +235,7 @@ func (p *P2) Value() float64 {
 	if p.n < 5 {
 		tmp := append([]float64(nil), p.initial...)
 		sort.Float64s(tmp)
-		idx := int(p.q * float64(len(tmp)-1))
-		return tmp[idx]
+		return tmp[nearestRank(p.q, len(tmp))]
 	}
 	return p.heights[2]
 }

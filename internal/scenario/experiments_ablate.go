@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -16,33 +17,61 @@ import (
 // another ticket is generated for the same link within a time window ...
 // the next stage is to perform this cleaning"). A zero window never
 // escalates across tickets (every incident restarts at reseat); longer
-// windows remember and start repeats one rung up.
-func A1RepeatWindow(p RepairParams) (*metrics.Table, error) {
+// windows remember and start repeats one rung up. One cell per
+// (window × seed).
+func A1RepeatWindow(r *Runner, p RepairParams) (*metrics.Table, error) {
 	tab := &metrics.Table{
 		Title: "A1 (ablation): repeat-ticket window vs escalation effectiveness",
 		Cols: []string{"repeat window", "tickets", "repeats", "mean window (h)",
 			"attempts/ticket", "masked recurrences"},
 		Notes: []string{"masked recurrences: reseats that suppressed dirt only temporarily (ground truth)"},
 	}
-	for _, window := range []sim.Time{0, 3 * sim.Day, 14 * sim.Day, 45 * sim.Day} {
+	windows := []sim.Time{0, 3 * sim.Day, 14 * sim.Day, 45 * sim.Day}
+	type a1 struct {
+		tickets, repeats, recurrences int
+		meanH, attempts               float64
+	}
+	var cells []Cell[a1]
+	for _, window := range windows {
+		for _, seed := range p.Seeds {
+			cells = append(cells, Cell[a1]{
+				Key: fmt.Sprintf("A1/window=%v/seed=%d", window, seed),
+				Run: func() (a1, error) {
+					var c a1
+					w, err := Build(Options{
+						Seed: seed, BuildNet: p.net(), Level: core.L3,
+						Techs: 2, Robots: true, FaultScale: p.FaultScale,
+						MutateTicket: func(tc *ticket.Config) { tc.RepeatWindow = window },
+					})
+					if err != nil {
+						return c, err
+					}
+					w.Run(p.Duration)
+					sum := w.Store.Summarize()
+					c.tickets = sum.Total
+					c.repeats = sum.Repeats
+					c.meanH = sum.MeanWindow.Duration().Hours()
+					c.attempts = sum.AttemptsPerResolved
+					c.recurrences = w.Inj.Stats().MaskedRecurrences
+					return c, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	for wi, window := range windows {
 		var tickets, repeats, recurrences int
 		var meanH, attempts float64
-		for _, seed := range p.Seeds {
-			w, err := Build(Options{
-				Seed: seed, BuildNet: p.net(), Level: core.L3,
-				Techs: 2, Robots: true, FaultScale: p.FaultScale,
-				MutateTicket: func(tc *ticket.Config) { tc.RepeatWindow = window },
-			})
-			if err != nil {
-				return nil, err
-			}
-			w.Run(p.Duration)
-			sum := w.Store.Summarize()
-			tickets += sum.Total
-			repeats += sum.Repeats
-			meanH += sum.MeanWindow.Duration().Hours()
-			attempts += sum.AttemptsPerResolved
-			recurrences += w.Inj.Stats().MaskedRecurrences
+		for si := range p.Seeds {
+			c := res[wi*len(p.Seeds)+si]
+			tickets += c.tickets
+			repeats += c.repeats
+			recurrences += c.recurrences
+			meanH += c.meanH
+			attempts += c.attempts
 		}
 		n := float64(len(p.Seeds))
 		label := window.String()
@@ -57,8 +86,8 @@ func A1RepeatWindow(p RepairParams) (*metrics.Table, error) {
 // A2MobilityScope ablates the robot deployment scope (§3.4: device-level,
 // rack-level, row-level, hall-level): the same number of units deployed as
 // rack-bound, row-bound or hall-roaming, measuring how much of the repair
-// load robots can actually serve.
-func A2MobilityScope(p RepairParams) (*metrics.Table, error) {
+// load robots can actually serve. One cell per (scope × seed).
+func A2MobilityScope(r *Runner, p RepairParams) (*metrics.Table, error) {
 	tab := &metrics.Table{
 		Title: "A2 (ablation): robot mobility scope at fixed fleet size",
 		Cols: []string{"scope", "units", "robot tasks", "human tasks",
@@ -68,39 +97,69 @@ func A2MobilityScope(p RepairParams) (*metrics.Table, error) {
 		name  string
 		scope robot.Scope
 	}
-	for _, dep := range []deployment{
+	deployments := []deployment{
 		{"rack", robot.RackScope},
 		{"row", robot.RowScope},
 		{"hall", robot.HallScope},
-	} {
+	}
+	type a2 struct {
+		robotTasks, humanTasks, units int
+		meanH                         float64
+	}
+	var cells []Cell[a2]
+	for _, dep := range deployments {
+		for _, seed := range p.Seeds {
+			cells = append(cells, Cell[a2]{
+				Key: fmt.Sprintf("A2/%s/seed=%d", dep.name, seed),
+				Run: func() (a2, error) {
+					var c a2
+					w, err := Build(Options{
+						Seed: seed, BuildNet: p.net(), Level: core.L3,
+						Techs: 2, FaultScale: p.FaultScale,
+					})
+					if err != nil {
+						return c, err
+					}
+					// Deploy one unit per equipment row, but with the ablated scope
+					// (rack units sit at rack 0 and cover only that rack; hall
+					// units roam everywhere).
+					rowSet := map[int]bool{}
+					for _, d := range w.Net.Devices {
+						rowSet[d.Loc.Row] = true
+					}
+					rows := make([]int, 0, len(rowSet))
+					for row := range rowSet {
+						rows = append(rows, row)
+					}
+					sort.Ints(rows)
+					for _, row := range rows {
+						w.Fleet.AddUnit(fmt.Sprintf("u-%s-%d", dep.name, row), dep.scope,
+							topology.Location{Row: row, Rack: 0})
+						c.units++
+					}
+					w.Run(p.Duration)
+					st := w.Ctrl.Stats()
+					c.robotTasks = st.RobotTasks
+					c.humanTasks = st.HumanTasks
+					c.meanH = w.Store.Summarize().MeanWindow.Duration().Hours()
+					return c, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	for di, dep := range deployments {
 		var robotTasks, humanTasks, units int
 		var meanH float64
-		for _, seed := range p.Seeds {
-			w, err := Build(Options{
-				Seed: seed, BuildNet: p.net(), Level: core.L3,
-				Techs: 2, FaultScale: p.FaultScale,
-			})
-			if err != nil {
-				return nil, err
-			}
-			// Deploy one unit per equipment row, but with the ablated scope
-			// (rack units sit at rack 0 and cover only that rack; hall
-			// units roam everywhere).
-			rows := map[int]bool{}
-			for _, d := range w.Net.Devices {
-				rows[d.Loc.Row] = true
-			}
-			units = 0
-			for row := range rows {
-				w.Fleet.AddUnit(fmt.Sprintf("u-%s-%d", dep.name, row), dep.scope,
-					topology.Location{Row: row, Rack: 0})
-				units++
-			}
-			w.Run(p.Duration)
-			st := w.Ctrl.Stats()
-			robotTasks += st.RobotTasks
-			humanTasks += st.HumanTasks
-			meanH += w.Store.Summarize().MeanWindow.Duration().Hours()
+		for si := range p.Seeds {
+			c := res[di*len(p.Seeds)+si]
+			robotTasks += c.robotTasks
+			humanTasks += c.humanTasks
+			units = c.units
+			meanH += c.meanH
 		}
 		n := float64(len(p.Seeds))
 		total := robotTasks + humanTasks

@@ -13,8 +13,8 @@ import (
 
 // T3Proactive regenerates Table T3: what proactive and predictive
 // maintenance buy (§4) — fault-onset reduction, availability, and the
-// robot-hours they cost.
-func T3Proactive(p RepairParams) (*metrics.Table, error) {
+// robot-hours they cost. One cell per (policy × seed).
+func T3Proactive(r *Runner, p RepairParams) (*metrics.Table, error) {
 	type policy struct {
 		name                  string
 		proactive, predictive bool
@@ -31,38 +31,64 @@ func T3Proactive(p RepairParams) (*metrics.Table, error) {
 			"proactive tasks", "robot-hours"},
 		Notes: []string{"onset reduction comes from wear-clock renewal on proactively serviced links"},
 	}
+	type t3 struct {
+		onsets, reactive, proTasks int
+		avail, robotHours          float64
+	}
+	var cells []Cell[t3]
 	for _, pol := range policies {
-		var onsets, reactive, proTasks int
-		var avail, robotHours float64
 		for _, seed := range p.Seeds {
-			w, err := Build(Options{
-				Seed:       seed,
-				BuildNet:   p.net(),
-				Level:      core.L4,
-				Techs:      2,
-				Robots:     true,
-				FaultScale: p.FaultScale,
-				MutateCore: func(c *core.Config) {
-					c.Proactive = pol.proactive
-					c.Predictive = pol.predictive
-					c.PredictTrainAfter = p.Duration / 4
+			cells = append(cells, Cell[t3]{
+				Key: fmt.Sprintf("T3/%s/seed=%d", pol.name, seed),
+				Run: func() (t3, error) {
+					var c t3
+					w, err := Build(Options{
+						Seed:       seed,
+						BuildNet:   p.net(),
+						Level:      core.L4,
+						Techs:      2,
+						Robots:     true,
+						FaultScale: p.FaultScale,
+						MutateCore: func(cc *core.Config) {
+							cc.Proactive = pol.proactive
+							cc.Predictive = pol.predictive
+							cc.PredictTrainAfter = p.Duration / 4
+						},
+					})
+					if err != nil {
+						return c, err
+					}
+					w.Run(p.Duration)
+					st := w.Inj.Stats()
+					for _, n := range st.Onsets {
+						c.onsets += n
+					}
+					sum := w.Store.Summarize()
+					c.reactive = sum.ByKind[ticket.Reactive]
+					c.proTasks = sum.ByKind[ticket.Proactive] + sum.ByKind[ticket.Predictive]
+					c.avail = w.Ledger.FleetAvailability()
+					for _, u := range w.Fleet.Units() {
+						c.robotHours += u.BusyTime.Duration().Hours()
+					}
+					return c, nil
 				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			w.Run(p.Duration)
-			st := w.Inj.Stats()
-			for _, n := range st.Onsets {
-				onsets += n
-			}
-			sum := w.Store.Summarize()
-			reactive += sum.ByKind[ticket.Reactive]
-			proTasks += sum.ByKind[ticket.Proactive] + sum.ByKind[ticket.Predictive]
-			avail += w.Ledger.FleetAvailability()
-			for _, u := range w.Fleet.Units() {
-				robotHours += u.BusyTime.Duration().Hours()
-			}
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range policies {
+		var onsets, reactive, proTasks int
+		var avail, robotHours float64
+		for si := range p.Seeds {
+			c := res[pi*len(p.Seeds)+si]
+			onsets += c.onsets
+			reactive += c.reactive
+			proTasks += c.proTasks
+			avail += c.avail
+			robotHours += c.robotHours
 		}
 		n := float64(len(p.Seeds))
 		tab.AddRow(pol.name, onsets, reactive, avail/n, proTasks, robotHours/n)
@@ -71,8 +97,21 @@ func T3Proactive(p RepairParams) (*metrics.Table, error) {
 }
 
 // T4Predictor regenerates Table T4: precision/recall of the telemetry
-// failure predictor on held-out samples, across decision thresholds.
-func T4Predictor(p RepairParams) (*metrics.Table, error) {
+// failure predictor on held-out samples, across decision thresholds. The
+// whole experiment is one cell (a single long collection run).
+func T4Predictor(r *Runner, p RepairParams) (*metrics.Table, error) {
+	cells := []Cell[*metrics.Table]{{
+		Key: fmt.Sprintf("T4/L4/seed=%d", p.Seeds[0]),
+		Run: func() (*metrics.Table, error) { return t4Predictor(p) },
+	}}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+func t4Predictor(p RepairParams) (*metrics.Table, error) {
 	tab := &metrics.Table{
 		Title: "T4: failure-predictor quality (logistic model on telemetry features)",
 		Cols:  []string{"threshold", "precision", "recall", "F1", "TP", "FP", "FN"},
@@ -156,28 +195,31 @@ func T4Predictor(p RepairParams) (*metrics.Table, error) {
 // T5RightProvisioning regenerates Table T5: spare links required for a
 // 99.99% connectivity target as a function of the repair regime — the
 // paper's right-provisioning argument (§2). Repair regimes use the measured
-// mean service windows from quick L0/L3 runs plus today's ticket SLAs.
-func T5RightProvisioning(p RepairParams) (*metrics.Table, error) {
-	measure := func(level core.Level) (sim.Time, error) {
-		w, err := levelWorld(p, level, p.Seeds[0])
-		if err != nil {
-			return 0, err
+// mean service windows from quick L0/L3 runs plus today's ticket SLAs. The
+// two measurement runs are independent cells.
+func T5RightProvisioning(r *Runner, p RepairParams) (*metrics.Table, error) {
+	measure := func(level core.Level) Cell[sim.Time] {
+		return Cell[sim.Time]{
+			Key: fmt.Sprintf("T5/%v/seed=%d", level, p.Seeds[0]),
+			Run: func() (sim.Time, error) {
+				w, err := levelWorld(p, level, p.Seeds[0])
+				if err != nil {
+					return 0, err
+				}
+				w.Run(p.Duration)
+				sum := w.Store.Summarize()
+				if sum.Resolved == 0 {
+					return 0, fmt.Errorf("scenario: no resolved tickets at %v", level)
+				}
+				return sum.MeanWindow, nil
+			},
 		}
-		w.Run(p.Duration)
-		sum := w.Store.Summarize()
-		if sum.Resolved == 0 {
-			return 0, fmt.Errorf("scenario: no resolved tickets at %v", level)
-		}
-		return sum.MeanWindow, nil
 	}
-	human, err := measure(core.L0)
+	res, err := RunCells(r, []Cell[sim.Time]{measure(core.L0), measure(core.L3)})
 	if err != nil {
 		return nil, err
 	}
-	robot, err := measure(core.L3)
-	if err != nil {
-		return nil, err
-	}
+	human, robot := res[0], res[1]
 	const groupLinks = 512
 	const annualRate = 0.35
 	const target = 0.9999

@@ -51,8 +51,9 @@ func levelWorld(p RepairParams, level core.Level, seed uint64) (*World, error) {
 
 // T1ServiceWindow regenerates Table T1: repair service-window statistics by
 // automation level. The paper's claim is the headline one — service windows
-// shrink "from hours and days to literally minutes" (§2).
-func T1ServiceWindow(p RepairParams) (*metrics.Table, *metrics.Figure, error) {
+// shrink "from hours and days to literally minutes" (§2). Each
+// (level × seed) pair is one independent cell.
+func T1ServiceWindow(r *Runner, p RepairParams) (*metrics.Table, *metrics.Figure, error) {
 	tab := &metrics.Table{
 		Title: "T1: repair service window by automation level",
 		Cols:  []string{"level", "tickets", "median", "mean", "p95", "p99"},
@@ -66,18 +67,38 @@ func T1ServiceWindow(p RepairParams) (*metrics.Table, *metrics.Figure, error) {
 		XLabel: "service window (hours)",
 		YLabel: "fraction of repairs",
 	}
-	for _, level := range []core.Level{core.L0, core.L1, core.L2, core.L3} {
-		var all metrics.Histogram
+	levels := []core.Level{core.L0, core.L1, core.L2, core.L3}
+	var cells []Cell[[]float64]
+	for _, level := range levels {
 		for _, seed := range p.Seeds {
-			w, err := levelWorld(p, level, seed)
-			if err != nil {
-				return nil, nil, err
-			}
-			w.Run(p.Duration)
-			for _, t := range w.Store.All() {
-				if t.Kind == ticket.Reactive && t.Status == ticket.Resolved {
-					all.Add(t.ServiceWindow().Duration().Hours())
-				}
+			cells = append(cells, Cell[[]float64]{
+				Key: fmt.Sprintf("T1/%v/seed=%d", level, seed),
+				Run: func() ([]float64, error) {
+					w, err := levelWorld(p, level, seed)
+					if err != nil {
+						return nil, err
+					}
+					w.Run(p.Duration)
+					var windows []float64
+					for _, t := range w.Store.All() {
+						if t.Kind == ticket.Reactive && t.Status == ticket.Resolved {
+							windows = append(windows, t.ServiceWindow().Duration().Hours())
+						}
+					}
+					return windows, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	for li, level := range levels {
+		var all metrics.Histogram
+		for si := range p.Seeds {
+			for _, v := range res[li*len(p.Seeds)+si] {
+				all.Add(v)
 			}
 		}
 		tab.AddRow(level.String(), all.N(),
@@ -103,37 +124,61 @@ func fmtHours(h float64) string {
 
 // T2Escalation regenerates Table T2: how incidents resolve along the
 // escalation ladder (§3.2) — the fraction fixed by reseat, clean, and the
-// replacements — plus repeat-ticket behaviour.
-func T2Escalation(p RepairParams) (*metrics.Table, error) {
-	byAction := map[faults.Action]int{}
-	resolved, repeats, total := 0, 0, 0
-	var attempts int
+// replacements — plus repeat-ticket behaviour. One cell per seed.
+func T2Escalation(r *Runner, p RepairParams) (*metrics.Table, error) {
+	type t2 struct {
+		byAction                           map[faults.Action]int
+		resolved, repeats, total, attempts int
+	}
+	var cells []Cell[t2]
 	for _, seed := range p.Seeds {
-		w, err := levelWorld(p, core.L3, seed)
-		if err != nil {
-			return nil, err
-		}
-		w.Run(p.Duration)
-		for _, t := range w.Store.All() {
-			if t.Kind != ticket.Reactive {
-				continue
-			}
-			total++
-			if t.RepeatOf >= 0 {
-				repeats++
-			}
-			if t.Status != ticket.Resolved {
-				continue
-			}
-			resolved++
-			attempts += len(t.Attempts)
-			for i := len(t.Attempts) - 1; i >= 0; i-- {
-				if t.Attempts[i].Fixed {
-					byAction[t.Attempts[i].Action]++
-					break
+		cells = append(cells, Cell[t2]{
+			Key: fmt.Sprintf("T2/L3/seed=%d", seed),
+			Run: func() (t2, error) {
+				c := t2{byAction: map[faults.Action]int{}}
+				w, err := levelWorld(p, core.L3, seed)
+				if err != nil {
+					return c, err
 				}
-			}
+				w.Run(p.Duration)
+				for _, t := range w.Store.All() {
+					if t.Kind != ticket.Reactive {
+						continue
+					}
+					c.total++
+					if t.RepeatOf >= 0 {
+						c.repeats++
+					}
+					if t.Status != ticket.Resolved {
+						continue
+					}
+					c.resolved++
+					c.attempts += len(t.Attempts)
+					for i := len(t.Attempts) - 1; i >= 0; i-- {
+						if t.Attempts[i].Fixed {
+							c.byAction[t.Attempts[i].Action]++
+							break
+						}
+					}
+				}
+				return c, nil
+			},
+		})
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	byAction := map[faults.Action]int{}
+	resolved, repeats, total, attempts := 0, 0, 0, 0
+	for _, c := range res {
+		for a, n := range c.byAction {
+			byAction[a] += n
 		}
+		resolved += c.resolved
+		repeats += c.repeats
+		total += c.total
+		attempts += c.attempts
 	}
 	tab := &metrics.Table{
 		Title: "T2: escalation-ladder outcomes (reactive incidents, L3)",
@@ -153,8 +198,8 @@ func T2Escalation(p RepairParams) (*metrics.Table, error) {
 }
 
 // F2Availability regenerates Figure F2: fleet link availability and
-// failed-link-hours versus automation level.
-func F2Availability(p RepairParams) (*metrics.Figure, *metrics.Table, error) {
+// failed-link-hours versus automation level. One cell per (level × seed).
+func F2Availability(r *Runner, p RepairParams) (*metrics.Figure, *metrics.Table, error) {
 	fig := &metrics.Figure{
 		Title:  "F2: availability vs automation level",
 		XLabel: "automation level",
@@ -164,18 +209,40 @@ func F2Availability(p RepairParams) (*metrics.Figure, *metrics.Table, error) {
 		Title: "F2 data: availability and outage burden by level",
 		Cols:  []string{"level", "availability", "down link-hours", "degraded link-hours"},
 	}
-	var xs, av, dlh []float64
-	for _, level := range []core.Level{core.L0, core.L1, core.L2, core.L3, core.L4} {
-		var availW, downW, degW metrics.Welford
+	levels := []core.Level{core.L0, core.L1, core.L2, core.L3, core.L4}
+	type f2 struct{ avail, down, degraded float64 }
+	var cells []Cell[f2]
+	for _, level := range levels {
 		for _, seed := range p.Seeds {
-			w, err := levelWorld(p, level, seed)
-			if err != nil {
-				return nil, nil, err
-			}
-			w.Run(p.Duration)
-			availW.Add(w.Ledger.FleetAvailability())
-			downW.Add(w.Ledger.DownLinkHours())
-			degW.Add(w.Ledger.DegradedLinkHours())
+			cells = append(cells, Cell[f2]{
+				Key: fmt.Sprintf("F2/%v/seed=%d", level, seed),
+				Run: func() (f2, error) {
+					w, err := levelWorld(p, level, seed)
+					if err != nil {
+						return f2{}, err
+					}
+					w.Run(p.Duration)
+					return f2{
+						avail:    w.Ledger.FleetAvailability(),
+						down:     w.Ledger.DownLinkHours(),
+						degraded: w.Ledger.DegradedLinkHours(),
+					}, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	var xs, av, dlh []float64
+	for li, level := range levels {
+		var availW, downW, degW metrics.Welford
+		for si := range p.Seeds {
+			c := res[li*len(p.Seeds)+si]
+			availW.Add(c.avail)
+			downW.Add(c.down)
+			degW.Add(c.degraded)
 		}
 		xs = append(xs, float64(level))
 		av = append(av, availW.Mean())
@@ -208,8 +275,8 @@ func normalizeTo1(v []float64) []float64 {
 // F3Cascades regenerates Figure F3: cascading failures during repair under
 // three policies — human hands (rough touch, no coordination), robots
 // without impact-aware pre-draining, and robots with it (§2's repair
-// amplification argument).
-func F3Cascades(p RepairParams) (*metrics.Table, *metrics.Figure, error) {
+// amplification argument). One cell per (policy × seed).
+func F3Cascades(r *Runner, p RepairParams) (*metrics.Table, *metrics.Figure, error) {
 	type policy struct {
 		name  string
 		level core.Level
@@ -231,29 +298,51 @@ func F3Cascades(p RepairParams) (*metrics.Table, *metrics.Figure, error) {
 		XLabel: "policy index (0=human,1=robot,2=robot+drain)",
 		YLabel: "events per 100 repairs",
 	}
+	type f3 struct{ repairs, trans, perm, loaded int }
+	var cells []Cell[f3]
+	for _, pol := range policies {
+		for _, seed := range p.Seeds {
+			cells = append(cells, Cell[f3]{
+				Key: fmt.Sprintf("F3/%s/seed=%d", pol.name, seed),
+				Run: func() (f3, error) {
+					var c f3
+					w, err := Build(Options{
+						Seed:       seed,
+						BuildNet:   p.net(),
+						Level:      pol.level,
+						Techs:      2,
+						Robots:     pol.level >= core.L1,
+						FaultScale: p.FaultScale,
+						MutateCore: func(cc *core.Config) { cc.ImpactAware = pol.drain },
+					})
+					if err != nil {
+						return c, err
+					}
+					// Count disturbances that hit undrained (loaded) links.
+					w.Inj.Subscribe(&loadedFlapCounter{w: w, count: &c.loaded})
+					w.Run(p.Duration)
+					st := w.Inj.Stats()
+					c.repairs = st.RepairsAttempted
+					c.trans = st.CascadeTransients
+					c.perm = st.CascadePermanents
+					return c, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var xs, transient, impacted []float64
 	for i, pol := range policies {
 		var repairs, trans, perm, loaded int
-		for _, seed := range p.Seeds {
-			w, err := Build(Options{
-				Seed:       seed,
-				BuildNet:   p.net(),
-				Level:      pol.level,
-				Techs:      2,
-				Robots:     pol.level >= core.L1,
-				FaultScale: p.FaultScale,
-				MutateCore: func(c *core.Config) { c.ImpactAware = pol.drain },
-			})
-			if err != nil {
-				return nil, nil, err
-			}
-			// Count disturbances that hit undrained (loaded) links.
-			w.Inj.Subscribe(&loadedFlapCounter{w: w, count: &loaded})
-			w.Run(p.Duration)
-			st := w.Inj.Stats()
-			repairs += st.RepairsAttempted
-			trans += st.CascadeTransients
-			perm += st.CascadePermanents
+		for si := range p.Seeds {
+			c := res[i*len(p.Seeds)+si]
+			repairs += c.repairs
+			trans += c.trans
+			perm += c.perm
+			loaded += c.loaded
 		}
 		if repairs == 0 {
 			repairs = 1

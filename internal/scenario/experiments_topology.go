@@ -17,8 +17,9 @@ import (
 
 // F4Maintainability regenerates Figure F4: the self-maintainability index
 // versus normalized throughput for four topologies at a comparable switch
-// budget — the paper's deployability-vs-efficiency tradeoff (§4).
-func F4Maintainability() (*metrics.Figure, *metrics.Table, error) {
+// budget — the paper's deployability-vs-efficiency tradeoff (§4). One cell
+// per topology.
+func F4Maintainability(r *Runner) (*metrics.Figure, *metrics.Table, error) {
 	// Equal budget: ~20 switches, every port 100G, hosts sized so the
 	// fabric (not the host NICs) is the bottleneck. This is the standard
 	// expander-vs-Clos comparison: at a fixed switch budget the flat
@@ -59,24 +60,41 @@ func F4Maintainability() (*metrics.Figure, *metrics.Table, error) {
 		Cols: []string{"topology", "index", "Gbps/switch", "locality", "clarity", "tray",
 			"runs", "drain-tol", "parallel", "media", "regular"},
 	}
+	type f4 struct {
+		rep       maintindex.Report
+		perSwitch float64
+	}
+	var cells []Cell[f4]
 	for _, b := range builds {
-		net, err := b.build()
-		if err != nil {
-			return nil, nil, err
-		}
-		rep := maintindex.Evaluate(net, maintindex.DefaultConfig())
-		// Per-switch goodput under full uniform injection.
-		router := routing.NewRouter(net, nil)
-		var offered float64
-		for _, h := range net.Hosts() {
-			for _, p := range h.Ports {
-				if p.Link != nil {
-					offered += p.Link.GbpsCap
+		cells = append(cells, Cell[f4]{
+			Key: "F4/" + b.name,
+			Run: func() (f4, error) {
+				net, err := b.build()
+				if err != nil {
+					return f4{}, err
 				}
-			}
-		}
-		a := router.Evaluate(routing.UniformMatrix(net, offered))
-		perSwitch := a.SatisfiedGbps / float64(net.Stats().Switches)
+				rep := maintindex.Evaluate(net, maintindex.DefaultConfig())
+				// Per-switch goodput under full uniform injection.
+				router := routing.NewRouter(net, nil)
+				var offered float64
+				for _, h := range net.Hosts() {
+					for _, p := range h.Ports {
+						if p.Link != nil {
+							offered += p.Link.GbpsCap
+						}
+					}
+				}
+				a := router.Evaluate(routing.UniformMatrix(net, offered))
+				return f4{rep: rep, perSwitch: a.SatisfiedGbps / float64(net.Stats().Switches)}, nil
+			},
+		})
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, b := range builds {
+		rep, perSwitch := res[i].rep, res[i].perSwitch
 		fig.Add(b.name, []float64{perSwitch}, []float64{rep.Index})
 		c := rep.Components
 		tab.AddRow(b.name, rep.Index, perSwitch, c.Locality, c.PortClarity,
@@ -92,8 +110,8 @@ func F4Maintainability() (*metrics.Figure, *metrics.Table, error) {
 // sizing question only bites during correlated events — a power/cooling
 // excursion that degrades a third of the fabric at once. The experiment
 // injects such a storm and measures how long each fleet size takes to
-// drain it.
-func F5FleetSizing(p RepairParams) (*metrics.Figure, *metrics.Table, error) {
+// drain it. One cell per (fleet size × seed).
+func F5FleetSizing(r *Runner, p RepairParams) (*metrics.Figure, *metrics.Table, error) {
 	fig := &metrics.Figure{
 		Title:  "F5: storm recovery vs robot fleet size",
 		XLabel: "hall-scope robot units",
@@ -103,63 +121,90 @@ func F5FleetSizing(p RepairParams) (*metrics.Figure, *metrics.Table, error) {
 		Title: "F5 data: fleet sizing under a 33% failure storm",
 		Cols:  []string{"units", "storm links", "p99 window (h)", "clear time (h)", "resolved"},
 	}
+	sizes := []int{1, 2, 4, 8}
+	type f5 struct {
+		windows  []float64
+		clearH   float64 // hours to drain the storm; 0 when never cleared
+		resolved int
+		stormed  int
+	}
+	var cells []Cell[f5]
+	for _, units := range sizes {
+		for _, seed := range p.Seeds {
+			cells = append(cells, Cell[f5]{
+				Key: fmt.Sprintf("F5/units=%d/seed=%d", units, seed),
+				Run: func() (f5, error) {
+					var c f5
+					w, err := Build(Options{
+						Seed:       seed,
+						BuildNet:   p.net(),
+						Level:      core.L3,
+						Techs:      2,
+						FaultScale: 0.01, // quiescent background; the storm is the load
+					})
+					if err != nil {
+						return c, err
+					}
+					for i := 0; i < units; i++ {
+						w.Fleet.AddUnit(fmt.Sprintf("hall-%d", i), robot.HallScope,
+							topology.Location{Row: 0, Rack: 0})
+					}
+					// The storm: oxidize every third pluggable fabric link at t=1h.
+					var stormLinks []*topology.Link
+					var clearedAt sim.Time
+					w.Eng.Schedule(sim.Hour, "storm", func() {
+						for i, l := range w.Net.SwitchLinks() {
+							if i%3 == 0 && l.Cable.Class.NeedsTransceiver() &&
+								w.Inj.State(l.ID).Cause == faults.None {
+								w.Inj.InduceFault(l, faults.Oxidation)
+								stormLinks = append(stormLinks, l)
+								c.stormed++
+							}
+						}
+					})
+					var watch *sim.Ticker
+					watch = w.Eng.Every(sim.Hour+10*sim.Minute, 10*sim.Minute, "storm-watch", func(at sim.Time) {
+						for _, l := range stormLinks {
+							if w.Inj.Observable(l.ID) != faults.Healthy {
+								return
+							}
+						}
+						clearedAt = at
+						watch.Stop()
+					})
+					w.Run(14 * sim.Day)
+					for _, t := range w.Store.All() {
+						if t.Kind == ticket.Reactive && t.Status == ticket.Resolved {
+							c.windows = append(c.windows, t.ServiceWindow().Duration().Hours())
+							c.resolved++
+						}
+					}
+					if clearedAt > 0 {
+						c.clearH = (clearedAt - sim.Hour).Duration().Hours()
+					}
+					return c, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, nil, err
+	}
 	var xs, p99s, clears []float64
-	for _, units := range []int{1, 2, 4, 8} {
-		units := units
+	for ui, units := range sizes {
 		var h metrics.Histogram
 		var clearSum float64
 		var resolved int
-		for _, seed := range p.Seeds {
-			w, err := Build(Options{
-				Seed:       seed,
-				BuildNet:   p.net(),
-				Level:      core.L3,
-				Techs:      2,
-				FaultScale: 0.01, // quiescent background; the storm is the load
-			})
-			if err != nil {
-				return nil, nil, err
+		for si := range p.Seeds {
+			c := res[ui*len(p.Seeds)+si]
+			for _, v := range c.windows {
+				h.Add(v)
 			}
-			for i := 0; i < units; i++ {
-				w.Fleet.AddUnit(fmt.Sprintf("hall-%d", i), robot.HallScope,
-					topology.Location{Row: 0, Rack: 0})
-			}
-			// The storm: oxidize every third pluggable fabric link at t=1h.
-			stormed := 0
-			var stormLinks []*topology.Link
-			var clearedAt sim.Time
-			w.Eng.Schedule(sim.Hour, "storm", func() {
-				for i, l := range w.Net.SwitchLinks() {
-					if i%3 == 0 && l.Cable.Class.NeedsTransceiver() &&
-						w.Inj.State(l.ID).Cause == faults.None {
-						w.Inj.InduceFault(l, faults.Oxidation)
-						stormLinks = append(stormLinks, l)
-						stormed++
-					}
-				}
-			})
-			var watch *sim.Ticker
-			watch = w.Eng.Every(sim.Hour+10*sim.Minute, 10*sim.Minute, "storm-watch", func(at sim.Time) {
-				for _, l := range stormLinks {
-					if w.Inj.Observable(l.ID) != faults.Healthy {
-						return
-					}
-				}
-				clearedAt = at
-				watch.Stop()
-			})
-			w.Run(14 * sim.Day)
-			for _, t := range w.Store.All() {
-				if t.Kind == ticket.Reactive && t.Status == ticket.Resolved {
-					h.Add(t.ServiceWindow().Duration().Hours())
-					resolved++
-				}
-			}
-			if clearedAt > 0 {
-				clearSum += (clearedAt - sim.Hour).Duration().Hours()
-			}
+			clearSum += c.clearH
+			resolved += c.resolved
 			tab.Notes = nil // identical across seeds; keep the last
-			tab.Notes = append(tab.Notes, fmt.Sprintf("storm size %d links per seed", stormed))
+			tab.Notes = append(tab.Notes, fmt.Sprintf("storm size %d links per seed", c.stormed))
 		}
 		clear := clearSum / float64(len(p.Seeds))
 		tab.AddRow(units, "storm", h.Quantile(0.99), clear, resolved)
@@ -174,8 +219,21 @@ func F5FleetSizing(p RepairParams) (*metrics.Figure, *metrics.Table, error) {
 
 // T6RobotTimings regenerates Table T6: robot task micro-timings against the
 // paper's reported numbers — 8-core inspection under 30 s, full cycle "a
-// few minutes" (§3.3.2) — and against human hands-on times.
-func T6RobotTimings(reps int, seed uint64) (*metrics.Table, error) {
+// few minutes" (§3.3.2) — and against human hands-on times. The reps run
+// sequentially on one world, so the experiment is a single cell.
+func T6RobotTimings(r *Runner, reps int, seed uint64) (*metrics.Table, error) {
+	cells := []Cell[*metrics.Table]{{
+		Key: fmt.Sprintf("T6/seed=%d", seed),
+		Run: func() (*metrics.Table, error) { return t6RobotTimings(reps, seed) },
+	}}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+func t6RobotTimings(reps int, seed uint64) (*metrics.Table, error) {
 	if reps <= 0 {
 		reps = 200
 	}
@@ -266,52 +324,67 @@ func T6RobotTimings(reps int, seed uint64) (*metrics.Table, error) {
 
 // F6FlapLatency regenerates Figure F6: fabric p999 latency during a
 // flapping-link incident under L0 and L3 — how fast repair shrinks the tail
-// the paper blames gray failures for (§1).
-func F6FlapLatency(seed uint64) (*metrics.Figure, error) {
+// the paper blames gray failures for (§1). One cell per automation level.
+func F6FlapLatency(r *Runner, seed uint64) (*metrics.Figure, error) {
 	fig := &metrics.Figure{
 		Title:  "F6: tail latency during a flapping-link incident",
 		XLabel: "hours since fault onset",
 		YLabel: "worst-pair p999 latency (us)",
 	}
-	for _, level := range []core.Level{core.L0, core.L3} {
-		w, err := Build(Options{
-			Seed: seed, BuildNet: SmallHall, Level: level,
-			Techs: 2, Robots: level >= core.L1,
-			MutateFaults: func(fc *faults.Config) {
-				fc.AnnualRate = map[faults.Cause]float64{}
-				fc.DownManifest[faults.Contamination] = 0 // force gray
+	levels := []core.Level{core.L0, core.L3}
+	type f6 struct{ xs, ys []float64 }
+	var cells []Cell[f6]
+	for _, level := range levels {
+		cells = append(cells, Cell[f6]{
+			Key: fmt.Sprintf("F6/%v/seed=%d", level, seed),
+			Run: func() (f6, error) {
+				w, err := Build(Options{
+					Seed: seed, BuildNet: SmallHall, Level: level,
+					Techs: 2, Robots: level >= core.L1,
+					MutateFaults: func(fc *faults.Config) {
+						fc.AnnualRate = map[faults.Cause]float64{}
+						fc.DownManifest[faults.Contamination] = 0 // force gray
+					},
+				})
+				if err != nil {
+					return f6{}, err
+				}
+				var link *topology.Link
+				for _, l := range w.Net.SwitchLinks() {
+					if l.HasSeparableFiber() {
+						link = l
+						break
+					}
+				}
+				tm := routing.UniformMatrix(w.Net, 400)
+				lm := routing.DefaultLatencyModel()
+				lossFn := func(id topology.LinkID) float64 {
+					c := w.Mon.Counters(id)
+					if c.FlapsInWindow > 0 {
+						return c.LossEWMA
+					}
+					return 0
+				}
+				var c f6
+				onset := 10 * sim.Hour
+				w.Eng.Schedule(onset, "break", func() { w.Inj.InduceFault(link, faults.Contamination) })
+				w.Eng.Every(onset, sim.Hour, "latency-sample", func(at sim.Time) {
+					a := w.Router.Evaluate(tm)
+					pc := lm.WorstPairLatency(w.Router, tm, a, lossFn)
+					c.xs = append(c.xs, (at - onset).Duration().Hours())
+					c.ys = append(c.ys, pc.P999)
+				})
+				w.Run(onset + 72*sim.Hour)
+				return c, nil
 			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		var link *topology.Link
-		for _, l := range w.Net.SwitchLinks() {
-			if l.HasSeparableFiber() {
-				link = l
-				break
-			}
-		}
-		tm := routing.UniformMatrix(w.Net, 400)
-		lm := routing.DefaultLatencyModel()
-		lossFn := func(id topology.LinkID) float64 {
-			c := w.Mon.Counters(id)
-			if c.FlapsInWindow > 0 {
-				return c.LossEWMA
-			}
-			return 0
-		}
-		var xs, ys []float64
-		onset := 10 * sim.Hour
-		w.Eng.Schedule(onset, "break", func() { w.Inj.InduceFault(link, faults.Contamination) })
-		w.Eng.Every(onset, sim.Hour, "latency-sample", func(at sim.Time) {
-			a := w.Router.Evaluate(tm)
-			pc := lm.WorstPairLatency(w.Router, tm, a, lossFn)
-			xs = append(xs, (at - onset).Duration().Hours())
-			ys = append(ys, pc.P999)
-		})
-		w.Run(onset + 72*sim.Hour)
-		fig.Add(level.String(), xs, ys)
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, level := range levels {
+		fig.Add(level.String(), res[i].xs, res[i].ys)
 	}
 	return fig, nil
 }
@@ -319,8 +392,8 @@ func F6FlapLatency(seed uint64) (*metrics.Figure, error) {
 // T7AICluster regenerates Table T7: GPU-hours lost in a rail-optimized
 // training cluster versus repair regime — the paper's AI-cluster dilemma
 // (§1). A rail ring stalls while any of its links is down; goodput is the
-// fraction of rails fully up.
-func T7AICluster(p RepairParams) (*metrics.Table, error) {
+// fraction of rails fully up. One cell per (level × seed).
+func T7AICluster(r *Runner, p RepairParams) (*metrics.Table, error) {
 	cfg := topology.DefaultAICluster()
 	if p.Quick {
 		cfg.Servers = 16
@@ -341,53 +414,81 @@ func T7AICluster(p RepairParams) (*metrics.Table, error) {
 			fmt.Sprintf("%d servers x %d rails, ring collectives stall on any down rail link", cfg.Servers, cfg.RailsPerServer),
 		},
 	}
-	for _, level := range []core.Level{core.L0, core.L3} {
+	levels := []core.Level{core.L0, core.L3}
+	type t7 struct {
+		gpuHoursLost, goodput float64
+		maxRailsDown          int
+		meanRepair            sim.Time
+	}
+	var cells []Cell[t7]
+	for _, level := range levels {
+		for _, seed := range p.Seeds {
+			cells = append(cells, Cell[t7]{
+				Key: fmt.Sprintf("T7/%v/seed=%d", level, seed),
+				Run: func() (t7, error) {
+					var c t7
+					w, err := Build(Options{
+						Seed: seed,
+						BuildNet: func() (*topology.Network, error) {
+							return topology.NewAICluster(cfg)
+						},
+						Level: level, Techs: 2, Robots: level >= core.L1,
+						FaultScale: scale,
+					})
+					if err != nil {
+						return c, err
+					}
+					rails := w.Net.DevicesOfKind(topology.RailSwitch)
+					var integ metrics.StepIntegrator
+					sample := func(at sim.Time) {
+						down := 0
+						for _, rr := range rails {
+							railUp := true
+							for _, np := range w.Net.Neighbors(rr.ID) {
+								if w.Inj.Observable(np.Link.ID) != faults.Healthy {
+									railUp = false
+									break
+								}
+							}
+							if !railUp {
+								down++
+							}
+						}
+						if down > c.maxRailsDown {
+							c.maxRailsDown = down
+						}
+						integ.Observe(at, 1-float64(down)/float64(len(rails)))
+					}
+					w.Eng.Every(0, sim.Hour, "goodput-sample", sample)
+					w.Run(p.Duration)
+					c.goodput = integ.Average(w.Eng.Now())
+					totalGPUs := float64(cfg.Servers * cfg.RailsPerServer)
+					c.gpuHoursLost = (1 - c.goodput) * totalGPUs * p.Duration.Duration().Hours()
+					if sum := w.Store.Summarize(); sum.Resolved > 0 {
+						c.meanRepair = sum.MeanWindow
+					}
+					return c, nil
+				},
+			})
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	for li, level := range levels {
 		var gpuHoursLost, goodputSum float64
 		var goodputN, maxRailsDown int
 		var meanRepair sim.Time
-		for _, seed := range p.Seeds {
-			w, err := Build(Options{
-				Seed: seed,
-				BuildNet: func() (*topology.Network, error) {
-					return topology.NewAICluster(cfg)
-				},
-				Level: level, Techs: 2, Robots: level >= core.L1,
-				FaultScale: scale,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rails := w.Net.DevicesOfKind(topology.RailSwitch)
-			var integ metrics.StepIntegrator
-			sample := func(at sim.Time) {
-				down := 0
-				for _, r := range rails {
-					railUp := true
-					for _, np := range w.Net.Neighbors(r.ID) {
-						if w.Inj.Observable(np.Link.ID) != faults.Healthy {
-							railUp = false
-							break
-						}
-					}
-					if !railUp {
-						down++
-					}
-				}
-				if down > maxRailsDown {
-					maxRailsDown = down
-				}
-				integ.Observe(at, 1-float64(down)/float64(len(rails)))
-			}
-			w.Eng.Every(0, sim.Hour, "goodput-sample", sample)
-			w.Run(p.Duration)
-			goodput := integ.Average(w.Eng.Now())
-			goodputSum += goodput
+		for si := range p.Seeds {
+			c := res[li*len(p.Seeds)+si]
+			gpuHoursLost += c.gpuHoursLost
+			goodputSum += c.goodput
 			goodputN++
-			totalGPUs := float64(cfg.Servers * cfg.RailsPerServer)
-			gpuHoursLost += (1 - goodput) * totalGPUs * p.Duration.Duration().Hours()
-			if sum := w.Store.Summarize(); sum.Resolved > 0 {
-				meanRepair += sum.MeanWindow
+			if c.maxRailsDown > maxRailsDown {
+				maxRailsDown = c.maxRailsDown
 			}
+			meanRepair += c.meanRepair
 		}
 		n := sim.Time(len(p.Seeds))
 		tab.AddRow(level.String(), gpuHoursLost/float64(len(p.Seeds)), maxRailsDown,
@@ -399,8 +500,8 @@ func T7AICluster(p RepairParams) (*metrics.Table, error) {
 // T8Diversity regenerates Table T8: robotic task success versus hardware
 // diversity — the paper's standardization argument (§4). Each fleet
 // diversity level runs the same reseat workload; failures escalate to
-// humans.
-func T8Diversity(tasks int, seed uint64) (*metrics.Table, error) {
+// humans. One cell per diversity level.
+func T8Diversity(r *Runner, tasks int, seed uint64) (*metrics.Table, error) {
 	if tasks <= 0 {
 		tasks = 400
 	}
@@ -409,53 +510,69 @@ func T8Diversity(tasks int, seed uint64) (*metrics.Table, error) {
 		Cols:  []string{"distinct models", "tasks", "completed %", "human escalations %"},
 		Notes: []string{"diversity 1 is the paper's standardized-hardware endpoint (§4)"},
 	}
-	for _, div := range []int{1, 4, 16, 32} {
-		w, err := Build(Options{
-			Seed: seed, BuildNet: SmallHall, Level: core.L3, Techs: 0,
-			NoController:   true,
-			FleetDiversity: div,
-			MutateFaults: func(fc *faults.Config) {
-				fc.AnnualRate = map[faults.Cause]float64{}
-				fc.FixProb[faults.Reseat][faults.Oxidation] = 1
-			},
-			MutateRobot: func(rc *robot.Config) {
-				rc.PrimitiveFailProb = 0
-				rc.BatteryTasks = 0
+	diversities := []int{1, 4, 16, 32}
+	type t8 struct{ completed, escalated int }
+	var cells []Cell[t8]
+	for _, div := range diversities {
+		cells = append(cells, Cell[t8]{
+			Key: fmt.Sprintf("T8/div=%d/seed=%d", div, seed),
+			Run: func() (t8, error) {
+				var c t8
+				w, err := Build(Options{
+					Seed: seed, BuildNet: SmallHall, Level: core.L3, Techs: 0,
+					NoController:   true,
+					FleetDiversity: div,
+					MutateFaults: func(fc *faults.Config) {
+						fc.AnnualRate = map[faults.Cause]float64{}
+						fc.FixProb[faults.Reseat][faults.Oxidation] = 1
+					},
+					MutateRobot: func(rc *robot.Config) {
+						rc.PrimitiveFailProb = 0
+						rc.BatteryTasks = 0
+					},
+				})
+				if err != nil {
+					return c, err
+				}
+				unit := w.Fleet.AddUnit("bench", robot.HallScope, topology.Location{})
+				var link *topology.Link
+				for _, l := range w.Net.SwitchLinks() {
+					if l.HasSeparableFiber() {
+						link = l
+						break
+					}
+				}
+				for i := 0; i < tasks; i++ {
+					w.Inj.InduceFault(link, faults.Oxidation)
+					st := w.Inj.State(link.ID)
+					var out *robot.Outcome
+					w.Fleet.Execute(unit, robot.Task{Link: link, End: st.CauseEnd, Action: faults.Reseat},
+						func(o robot.Outcome) { out = &o })
+					w.Eng.RunUntil(w.Eng.Now() + 2*sim.Hour)
+					if out == nil {
+						return c, fmt.Errorf("scenario: task hung")
+					}
+					if out.Completed && out.Result.Fixed {
+						c.completed++
+					} else {
+						if out.NeedsHuman {
+							c.escalated++
+						}
+						w.Inj.ClearFault(link)
+					}
+				}
+				return c, nil
 			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		unit := w.Fleet.AddUnit("bench", robot.HallScope, topology.Location{})
-		var link *topology.Link
-		for _, l := range w.Net.SwitchLinks() {
-			if l.HasSeparableFiber() {
-				link = l
-				break
-			}
-		}
-		completed, escalated := 0, 0
-		for i := 0; i < tasks; i++ {
-			w.Inj.InduceFault(link, faults.Oxidation)
-			st := w.Inj.State(link.ID)
-			var out *robot.Outcome
-			w.Fleet.Execute(unit, robot.Task{Link: link, End: st.CauseEnd, Action: faults.Reseat},
-				func(o robot.Outcome) { out = &o })
-			w.Eng.RunUntil(w.Eng.Now() + 2*sim.Hour)
-			if out == nil {
-				return nil, fmt.Errorf("scenario: task hung")
-			}
-			if out.Completed && out.Result.Fixed {
-				completed++
-			} else {
-				if out.NeedsHuman {
-					escalated++
-				}
-				w.Inj.ClearFault(link)
-			}
-		}
-		tab.AddRow(div, tasks, 100*float64(completed)/float64(tasks),
-			100*float64(escalated)/float64(tasks))
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, div := range diversities {
+		c := res[i]
+		tab.AddRow(div, tasks, 100*float64(c.completed)/float64(tasks),
+			100*float64(c.escalated)/float64(tasks))
 	}
 	return tab, nil
 }

@@ -1,0 +1,123 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes independent simulation cells across a bounded worker
+// pool. A cell is one self-contained simulation — it builds its own
+// sim.Engine and world — so cells are embarrassingly parallel; the only
+// shared state is the admission pool. Results are always merged in cell
+// order, which is what keeps parallel runs byte-identical to serial ones
+// at fixed seeds.
+type Runner struct {
+	workers int
+	// pool holds admission tokens, shared across Split runners so the
+	// whole suite is bounded by one worker count; nil means inline serial
+	// execution with no goroutines at all.
+	pool  chan struct{}
+	cells *atomic.Int64
+}
+
+// NewRunner creates a runner with the given pool size. workers <= 0 uses
+// runtime.NumCPU(); workers == 1 runs every cell inline on the caller's
+// goroutine (the serial escape hatch).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	r := &Runner{workers: workers, cells: new(atomic.Int64)}
+	if workers > 1 {
+		r.pool = make(chan struct{}, workers)
+	}
+	return r
+}
+
+// Serial returns a single-worker runner: cells run inline, in order.
+func Serial() *Runner { return NewRunner(1) }
+
+// Workers reports the pool size. A nil runner is serial.
+func (r *Runner) Workers() int {
+	if r == nil {
+		return 1
+	}
+	return r.workers
+}
+
+// CellsRun reports how many cells have completed through this runner.
+func (r *Runner) CellsRun() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.cells.Load())
+}
+
+// Split returns a runner sharing r's admission pool but counting cells
+// separately. The suite hands each experiment its own split so the bench
+// artifact can attribute cells per experiment while one global pool bounds
+// total concurrency.
+func (r *Runner) Split() *Runner {
+	if r == nil {
+		return Serial()
+	}
+	return &Runner{workers: r.workers, pool: r.pool, cells: new(atomic.Int64)}
+}
+
+// Cell is one independent unit of simulation work: typically one
+// (experiment × level/policy × seed) world build-and-run. Key identifies
+// the cell in error messages.
+type Cell[T any] struct {
+	Key string
+	Run func() (T, error)
+}
+
+// RunCells executes the cells on the runner's pool and returns their
+// results in cell order regardless of completion order. The first failing
+// cell (in cell order) fails the run, with its Key in the error.
+func RunCells[T any](r *Runner, cells []Cell[T]) ([]T, error) {
+	if r == nil {
+		r = Serial()
+	}
+	out := make([]T, len(cells))
+	if r.pool == nil {
+		for i, c := range cells {
+			v, err := runCell(r, c)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i := range cells {
+		r.pool <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-r.pool }()
+			out[i], errs[i] = runCell(r, cells[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func runCell[T any](r *Runner, c Cell[T]) (T, error) {
+	v, err := c.Run()
+	r.cells.Add(1)
+	if err != nil {
+		var zero T
+		return zero, fmt.Errorf("cell %s: %w", c.Key, err)
+	}
+	return v, nil
+}

@@ -41,7 +41,7 @@ func TestReplicate(t *testing.T) {
 // service window from hours/days to minutes — at least an order of
 // magnitude between L0 and L3 medians.
 func TestT1Shape(t *testing.T) {
-	tab, fig, err := T1ServiceWindow(QuickRepairParams())
+	tab, fig, err := T1ServiceWindow(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestT1Shape(t *testing.T) {
 // TestT2Shape verifies reseat resolves the plurality of incidents — the
 // paper's "surprisingly effective" first rung.
 func TestT2Shape(t *testing.T) {
-	tab, err := T2Escalation(QuickRepairParams())
+	tab, err := T2Escalation(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestT2Shape(t *testing.T) {
 // TestF2Shape verifies availability improves monotonically enough with
 // automation level (L3 must beat L0).
 func TestF2Shape(t *testing.T) {
-	fig, tab, err := F2Availability(QuickRepairParams())
+	fig, tab, err := F2Availability(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestF2Shape(t *testing.T) {
 // TestF3Shape verifies the cascade ordering: humans disturb more than
 // robots, and pre-draining removes most loaded-link disturbances.
 func TestF3Shape(t *testing.T) {
-	tab, fig, err := F3Cascades(QuickRepairParams())
+	tab, fig, err := F3Cascades(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestF3Shape(t *testing.T) {
 func TestT3Shape(t *testing.T) {
 	p := QuickRepairParams()
 	p.Duration = 180 * sim.Day
-	tab, err := T3Proactive(p)
+	tab, err := T3Proactive(Serial(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestT3Shape(t *testing.T) {
 func TestT4Runs(t *testing.T) {
 	p := QuickRepairParams()
 	p.Duration = 150 * sim.Day
-	tab, err := T4Predictor(p)
+	tab, err := T4Predictor(Serial(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestT4Runs(t *testing.T) {
 // TestT5Shape verifies the right-provisioning ordering: faster repair,
 // fewer spares.
 func TestT5Shape(t *testing.T) {
-	tab, err := T5RightProvisioning(QuickRepairParams())
+	tab, err := T5RightProvisioning(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestT5Shape(t *testing.T) {
 // TestF4Shape verifies the topology tradeoff: the expander family wins
 // throughput, the Clos family wins maintainability.
 func TestF4Shape(t *testing.T) {
-	fig, tab, err := F4Maintainability()
+	fig, tab, err := F4Maintainability(Serial())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestF4Shape(t *testing.T) {
 }
 
 func TestT6MeetsPaperTimings(t *testing.T) {
-	tab, err := T6RobotTimings(60, 5)
+	tab, err := T6RobotTimings(Serial(), 60, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestT6MeetsPaperTimings(t *testing.T) {
 }
 
 func TestF6Shape(t *testing.T) {
-	fig, err := F6FlapLatency(3)
+	fig, err := F6FlapLatency(Serial(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestF6Shape(t *testing.T) {
 func TestT7Shape(t *testing.T) {
 	p := QuickRepairParams()
 	p.Duration = 120 * sim.Day
-	tab, err := T7AICluster(p)
+	tab, err := T7AICluster(Serial(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +308,7 @@ func TestT7Shape(t *testing.T) {
 }
 
 func TestT8Shape(t *testing.T) {
-	tab, err := T8Diversity(120, 7)
+	tab, err := T8Diversity(Serial(), 120, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +335,7 @@ func sscan(cell string, out *float64) (int, error) {
 // TestA1Shape verifies the repeat-window mechanism: with a window, repeat
 // tickets exist and start escalated; with none, no repeats are detected.
 func TestA1Shape(t *testing.T) {
-	tab, err := A1RepeatWindow(QuickRepairParams())
+	tab, err := A1RepeatWindow(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestA1Shape(t *testing.T) {
 // TestA2Shape verifies mobility-scope ordering: wider scope, more of the
 // repair load served robotically.
 func TestA2Shape(t *testing.T) {
-	tab, err := A2MobilityScope(QuickRepairParams())
+	tab, err := A2MobilityScope(Serial(), QuickRepairParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // CableClass classifies the physical medium of a link, following §3.1 of
 // the paper: DAC for short copper, AEC/AOC for integrated active cables,
@@ -165,14 +168,15 @@ type Transceiver struct {
 	Serial int
 }
 
-var xcvrSerial int
+var xcvrSerial atomic.Int64
 
 // NewTransceiver mints a transceiver of the given model with a fresh
-// serial number. Serial numbers are process-global; they exist only to
-// distinguish "same module reseated" from "new module installed".
+// serial number. Serial numbers are process-global (atomic: worlds build
+// and run concurrently under the experiment runner); they exist only to
+// distinguish "same module reseated" from "new module installed" and
+// never appear in deterministic output.
 func NewTransceiver(m *TransceiverModel) *Transceiver {
-	xcvrSerial++
-	return &Transceiver{Model: m, Serial: xcvrSerial}
+	return &Transceiver{Model: m, Serial: int(xcvrSerial.Add(1))}
 }
 
 // String returns "model#serial".
