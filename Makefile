@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench experiments-quick ci
+.PHONY: all build test race vet fmt fmt-check bench bench-quick experiments-quick ci
 
 all: build
 
@@ -28,6 +28,12 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/experiments -quick -bench-json BENCH_experiments.json > /dev/null
+
+# One-iteration pass over the routing hot-path benchmarks: proves the
+# incremental-invalidation and zero-alloc paths still build and run in CI.
+# Real numbers come from `make bench`.
+bench-quick:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterFlapChurn|BenchmarkEvaluateSteadyState' -benchtime=1x .
 
 # Smoke-run the quick experiment suite on all host cores (output discarded;
 # the determinism tests cover correctness, this covers the CLI path).

@@ -249,6 +249,59 @@ func BenchmarkRoutingEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkEvaluateSteadyState measures the per-cell hot loop: repeated
+// assessment of an unchanged fabric through a reusable workspace. The
+// routing tier-1 tests pin this path at zero allocations per op.
+func BenchmarkEvaluateSteadyState(b *testing.B) {
+	net, err := scenario.StandardHall()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := routing.NewRouter(net, nil)
+	tm := routing.UniformMatrix(net, 1000)
+	var ws routing.Workspace
+	r.EvaluateInto(&ws, tm) // warm caches and grow buffers
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.EvaluateInto(&ws, tm)
+	}
+}
+
+// BenchmarkRouterFlapChurn measures re-assessment cost while one fabric
+// link flaps up and down, comparing targeted per-link invalidation against
+// a blanket cache flush on a k=8 fat-tree. The incremental case only
+// recomputes destinations whose shortest paths crossed the flapping link.
+func BenchmarkRouterFlapChurn(b *testing.B) {
+	net, err := topology.NewFatTree(topology.DefaultFatTree(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	down := map[topology.LinkID]bool{}
+	health := func(id topology.LinkID) bool { return !down[id] }
+	l := net.SwitchLinks()[0]
+	run := func(b *testing.B, invalidate func(r *routing.Router)) {
+		down[l.ID] = false
+		r := routing.NewRouter(net, health)
+		tm := routing.UniformMatrix(net, 4000)
+		var ws routing.Workspace
+		r.EvaluateInto(&ws, tm) // warm
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			down[l.ID] = !down[l.ID]
+			invalidate(r)
+			_ = r.EvaluateInto(&ws, tm)
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		run(b, func(r *routing.Router) { r.InvalidateLink(l.ID) })
+	})
+	b.Run("blanket", func(b *testing.B) {
+		run(b, func(r *routing.Router) { r.Invalidate() })
+	})
+}
+
 // BenchmarkTopologyBuild measures fabric construction.
 func BenchmarkTopologyBuild(b *testing.B) {
 	b.ReportAllocs()

@@ -20,6 +20,9 @@ fi
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke (routing hot paths, 1 iteration)"
+make bench-quick
+
 echo "== experiments smoke (quick suite, parallel)"
 make experiments-quick
 

@@ -6,7 +6,9 @@
 //	experiments -csv DIR         # also write CSV files into DIR
 //	experiments -parallel 4      # cap the simulation worker pool at 4
 //	experiments -serial          # one worker, no goroutines (bit-identical to -parallel N)
-//	experiments -bench-json PATH # write the BENCH perf artifact (timings, cells/sec)
+//	experiments -bench-json PATH # write the BENCH perf artifact (timings, cells/sec, allocs)
+//	experiments -cpuprofile F    # write a CPU profile of the suite run
+//	experiments -memprofile F    # write a post-run heap profile (after GC)
 //
 // Every experiment decomposes into independent (experiment × level/policy
 // × seed) simulation cells; the harness fans the cells across a worker
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/scenario"
@@ -33,12 +37,26 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "simulation worker-pool size; 0 = all host cores")
 		serial    = flag.Bool("serial", false, "run everything on one worker (escape hatch; same output)")
 		benchJSON = flag.String("bench-json", "", "write a BENCH_experiments.json perf artifact to this path")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
+		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	var ids []string
@@ -72,6 +90,19 @@ func main() {
 	}
 	if *benchJSON != "" {
 		if err := writeBench(*benchJSON, bench); err != nil {
+			fail(err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC() // report live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
 			fail(err)
 		}
 	}

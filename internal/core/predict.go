@@ -50,9 +50,12 @@ func (p *Predictor) Train(X [][]float64, y []bool) {
 			p.std[j] = 1
 		}
 	}
+	// One flat backing array for the normalized matrix: n small row allocs
+	// collapse into one, which keeps weekly retraining off the GC's back.
+	flat := make([]float64, len(X)*d)
 	norm := make([][]float64, len(X))
 	for i, x := range X {
-		row := make([]float64, d)
+		row := flat[i*d : (i+1)*d : (i+1)*d]
 		for j := range x {
 			row[j] = (x[j] - p.mean[j]) / p.std[j]
 		}
@@ -70,23 +73,30 @@ func (p *Predictor) Train(X [][]float64, y []bool) {
 	}
 	posW := float64(len(y)-pos) / float64(pos)
 
+	// Labels and class weights as flat arrays: the epoch loop below touches
+	// every sample 300 times, so hoist the per-sample branching out of it.
+	target := make([]float64, len(y))
+	weight := make([]float64, len(y))
+	for i, label := range y {
+		weight[i] = 1
+		if label {
+			target[i] = 1
+			weight[i] = posW
+		}
+	}
+
 	p.W = make([]float64, d)
 	p.B = 0
 	const epochs = 300
 	lr := 0.1
 	n := float64(len(norm))
+	gw := make([]float64, d)
 	for e := 0; e < epochs; e++ {
-		gw := make([]float64, d)
+		clear(gw)
 		gb := 0.0
 		for i, x := range norm {
 			pred := sigmoid(dot(p.W, x) + p.B)
-			target := 0.0
-			weight := 1.0
-			if y[i] {
-				target = 1
-				weight = posW
-			}
-			err := (pred - target) * weight
+			err := (pred - target[i]) * weight[i]
 			for j := range x {
 				gw[j] += err * x[j]
 			}

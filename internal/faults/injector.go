@@ -32,9 +32,9 @@ type Injector struct {
 	states []LinkState
 	info   []link
 
-	onsetEvents []map[Cause]*sim.Event // pending onset per (link, cause)
-	flapEvents  []*sim.Event           // pending flap episode per link
-	recurEvents []*sim.Event           // pending masked recurrence per link
+	onsetEvents []map[Cause]sim.Handle // pending onset per (link, cause)
+	flapEvents  []sim.Handle           // pending flap episode per link
+	recurEvents []sim.Handle           // pending masked recurrence per link
 
 	listeners []Listener
 	stats     Stats
@@ -49,9 +49,9 @@ func NewInjector(eng *sim.Engine, net *topology.Network, cfg Config) *Injector {
 		cfg:         cfg,
 		states:      make([]LinkState, len(net.Links)),
 		info:        make([]link, len(net.Links)),
-		onsetEvents: make([]map[Cause]*sim.Event, len(net.Links)),
-		flapEvents:  make([]*sim.Event, len(net.Links)),
-		recurEvents: make([]*sim.Event, len(net.Links)),
+		onsetEvents: make([]map[Cause]sim.Handle, len(net.Links)),
+		flapEvents:  make([]sim.Handle, len(net.Links)),
+		recurEvents: make([]sim.Handle, len(net.Links)),
 	}
 	inj.stats.Onsets = make(map[Cause]int)
 	for i, l := range net.Links {
@@ -60,7 +60,7 @@ func NewInjector(eng *sim.Engine, net *topology.Network, cfg Config) *Injector {
 			separable: l.Cable.Class.Separable(),
 			switchEnd: l.A.Device.Kind.IsSwitch() || l.B.Device.Kind.IsSwitch(),
 		}
-		inj.onsetEvents[i] = make(map[Cause]*sim.Event)
+		inj.onsetEvents[i] = make(map[Cause]sim.Handle)
 		for _, c := range AllCauses {
 			if c.applies(inj.info[i]) && cfg.AnnualRate[c] > 0 {
 				inj.scheduleOnset(l, c)
@@ -126,7 +126,7 @@ func (inj *Injector) scheduleOnset(l *topology.Link, c Cause) {
 // sub-clinical flap episodes in the days before the onset manifests. The
 // chain validates that the onset it belongs to is still pending, so repairs
 // that renew the wear clock silence the precursors too.
-func (inj *Injector) schedulePrecursor(l *topology.Link, c Cause, onsetEv *sim.Event, onsetAt sim.Time) {
+func (inj *Injector) schedulePrecursor(l *topology.Link, c Cause, onsetEv sim.Handle, onsetAt sim.Time) {
 	if c != Contamination && c != Oxidation {
 		return
 	}
@@ -232,7 +232,7 @@ func (inj *Injector) scheduleFlap(l *topology.Link) {
 	}
 	at := inj.eng.Now() + sim.Time(interval*float64(sim.Second))
 	inj.flapEvents[l.ID] = inj.eng.Schedule(at, "flap", func() {
-		inj.flapEvents[l.ID] = nil
+		inj.flapEvents[l.ID] = sim.Handle{}
 		st := &inj.states[l.ID]
 		if st.Health != Flapping || st.InRepair {
 			return
@@ -249,10 +249,8 @@ func (inj *Injector) scheduleFlap(l *topology.Link) {
 }
 
 func (inj *Injector) cancelFlap(id topology.LinkID) {
-	if ev := inj.flapEvents[id]; ev != nil {
-		ev.Cancel()
-		inj.flapEvents[id] = nil
-	}
+	inj.flapEvents[id].Cancel()
+	inj.flapEvents[id] = sim.Handle{}
 }
 
 // --- health transitions ----------------------------------------------------
@@ -293,7 +291,7 @@ func (inj *Injector) setInRepair(l *topology.Link, v bool) {
 	}
 	if v {
 		inj.cancelFlap(l.ID)
-	} else if st.Health == Flapping && inj.flapEvents[l.ID] == nil {
+	} else if st.Health == Flapping && !inj.flapEvents[l.ID].Pending() {
 		inj.scheduleFlap(l)
 	}
 }

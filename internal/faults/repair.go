@@ -98,10 +98,8 @@ func (inj *Injector) clearCause(l *topology.Link, action Action, end End) {
 	st := &inj.states[l.ID]
 	st.Cause = None
 	st.Masked = false
-	if ev := inj.recurEvents[l.ID]; ev != nil {
-		ev.Cancel()
-		inj.recurEvents[l.ID] = nil
-	}
+	inj.recurEvents[l.ID].Cancel()
+	inj.recurEvents[l.ID] = sim.Handle{}
 	switch action {
 	case Clean:
 		inj.cleanEnd(st, end)
@@ -152,7 +150,7 @@ func (inj *Injector) refreshClocks(l *topology.Link, action Action, end End) {
 		renewed = []Cause{SwitchPort}
 	}
 	for _, c := range renewed {
-		if ev := inj.onsetEvents[l.ID][c]; ev != nil {
+		if ev, ok := inj.onsetEvents[l.ID][c]; ok {
 			ev.Cancel()
 			delete(inj.onsetEvents[l.ID], c)
 		}
@@ -168,7 +166,7 @@ func (inj *Injector) scheduleMaskedRecurrence(l *topology.Link) {
 	hours := inj.cfg.MaskedRecurrence.Sample(inj.rng("repair"))
 	at := inj.eng.Now() + sim.Time(hours*float64(sim.Hour))
 	inj.recurEvents[l.ID] = inj.eng.Schedule(at, "masked-recurrence", func() {
-		inj.recurEvents[l.ID] = nil
+		inj.recurEvents[l.ID] = sim.Handle{}
 		st := &inj.states[l.ID]
 		if st.Cause != Contamination || !st.Masked || st.InRepair {
 			return
@@ -204,7 +202,7 @@ func (inj *Injector) InduceFault(l *topology.Link, c Cause) {
 	if st.Cause != None {
 		panic(fmt.Sprintf("faults: induce %v on %s: already has %v", c, l.Name(), st.Cause))
 	}
-	if ev := inj.onsetEvents[l.ID][c]; ev != nil {
+	if ev, ok := inj.onsetEvents[l.ID][c]; ok {
 		ev.Cancel()
 		delete(inj.onsetEvents[l.ID], c)
 	}
@@ -230,11 +228,9 @@ func (inj *Injector) ClearFault(l *topology.Link) {
 	st.Masked = false
 	st.Ends[EndA].Dirt = 0
 	st.Ends[EndB].Dirt = 0
-	if ev := inj.recurEvents[l.ID]; ev != nil {
-		ev.Cancel()
-		inj.recurEvents[l.ID] = nil
-	}
-	if ev := inj.onsetEvents[l.ID][cleared]; ev != nil {
+	inj.recurEvents[l.ID].Cancel()
+	inj.recurEvents[l.ID] = sim.Handle{}
+	if ev, ok := inj.onsetEvents[l.ID][cleared]; ok {
 		ev.Cancel()
 		delete(inj.onsetEvents[l.ID], cleared)
 	}

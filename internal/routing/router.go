@@ -9,6 +9,15 @@
 // demand is satisfied. This is the standard fluid approximation used for
 // topology studies; packet-level effects enter only through the latency
 // model.
+//
+// Cache maintenance is incremental, with two reverse indexes: every cached
+// BFS distance field records which links it crossed (link→destinations), and
+// every cached path set records which links its paths traverse (link→pairs).
+// A single link state change re-verifies only the fields that could have
+// changed — most survive a loss untouched thanks to ECMP redundancy — and
+// re-enumerates only the path sets that actually used the link; everything
+// else is validated lazily against epoch stamps. Invalidate remains as the
+// full-flush fallback for bulk edits.
 package routing
 
 import (
@@ -21,31 +30,96 @@ import (
 // worked on). The fault injector's Observable view supplies this.
 type HealthFn func(topology.LinkID) bool
 
+// distEntry is one cached BFS distance field toward a destination, stamped
+// with the cache epoch it was computed under.
+type distEntry struct {
+	dist  []int
+	stamp uint64
+}
+
+// pathEntry is one cached ECMP path set, stamped with the epoch of the
+// distance field it was enumerated over. The entry is valid only while the
+// destination's field still carries the same stamp — evicting a field
+// lazily invalidates every path set built on it, with no dst→pairs index.
+// seq is the entry's identity in the link→pairs index; refs whose seq no
+// longer matches the cached entry are stale and skipped.
+type pathEntry struct {
+	paths []topology.Path
+	stamp uint64
+	seq   uint64
+}
+
+// pairRef points from a link into the path-set cache: the entry for key
+// traversed the link when it was enumerated (valid while seq matches).
+type pairRef struct {
+	key [2]topology.DeviceID
+	seq uint64
+}
+
 // Router computes paths and loads over the currently usable subgraph.
 type Router struct {
-	net     *topology.Network
-	health  HealthFn
-	drained []bool
+	net      *topology.Network
+	health   HealthFn
+	drained  []bool
+	drainedN int
 
 	// MaxPaths bounds equal-cost path enumeration per demand.
 	MaxPaths int
 
-	cache      map[[2]topology.DeviceID][]topology.Path
-	distCache  map[topology.DeviceID][]int
+	cache     map[[2]topology.DeviceID]pathEntry
+	distCache map[topology.DeviceID]distEntry
+	// linkDeps is the reverse index: linkDeps[id] maps each destination
+	// whose cached distance field crossed link id on a shortest path to the
+	// stamp of that field. Entries whose stamp no longer matches the cached
+	// field are stale and skipped; map-overwrite semantics bound the index
+	// at one entry per (link, destination).
+	linkDeps []map[topology.DeviceID]uint64
+	// linkPairs is the finer reverse index: linkPairs[id] lists the cached
+	// path sets whose paths traverse link id. When the link leaves the usable
+	// subgraph, exactly these pairs re-enumerate; every other pair keeps its
+	// paths (ECMP redundancy means most distance fields survive a link loss
+	// unchanged). Stale refs are skipped via the seq check and each list is
+	// reset when its link's down-transition is processed.
+	linkPairs [][]pairRef
+	pairSeq   uint64
+	// lastUsable snapshots each link's usability as of the last (in)validation,
+	// so health transitions that do not change usability (e.g. Healthy →
+	// Flapping, which still carries traffic) cost nothing.
+	lastUsable []bool
+	// cacheEpoch stamps distance fields and path sets; it advances on every
+	// effective invalidation, so stale entries fail their stamp comparison
+	// instead of needing eager eviction.
 	cacheEpoch uint64
+
+	usableFn    topology.Usable     // cached method value, avoids per-call closure allocs
+	queue       []topology.DeviceID // BFS scratch
+	freeDists   [][]int             // recycled distance fields
+	freePaths   []topology.Path     // recycled path slices
+	linkMark    []uint64            // per-link dedup scratch for pair registration
+	scratchDist []int               // BFS compare scratch for down-transitions
+	ws          Workspace           // Evaluate's internal workspace
 }
 
 // NewRouter creates a router. health may be nil, meaning all links are
 // physically up.
 func NewRouter(net *topology.Network, health HealthFn) *Router {
-	return &Router{
-		net:       net,
-		health:    health,
-		drained:   make([]bool, len(net.Links)),
-		MaxPaths:  8,
-		cache:     make(map[[2]topology.DeviceID][]topology.Path),
-		distCache: make(map[topology.DeviceID][]int),
+	r := &Router{
+		net:        net,
+		health:     health,
+		drained:    make([]bool, len(net.Links)),
+		MaxPaths:   8,
+		cache:      make(map[[2]topology.DeviceID]pathEntry),
+		distCache:  make(map[topology.DeviceID]distEntry),
+		linkDeps:   make([]map[topology.DeviceID]uint64, len(net.Links)),
+		linkPairs:  make([][]pairRef, len(net.Links)),
+		lastUsable: make([]bool, len(net.Links)),
+		linkMark:   make([]uint64, len(net.Links)),
 	}
+	r.usableFn = r.Usable
+	for i, l := range net.Links {
+		r.lastUsable[i] = r.Usable(l)
+	}
+	return r
 }
 
 // Usable reports whether a link carries traffic: physically up and not
@@ -62,97 +136,321 @@ func (r *Router) Usable(l *topology.Link) bool {
 
 // Drain removes the link from service administratively. Draining is the
 // controller's impact-mitigation primitive: traffic shifts before physical
-// work begins, so a touched cable carries nothing.
+// work begins, so a touched cable carries nothing. Draining an already
+// drained link is a no-op and does not advance the cache epoch.
 func (r *Router) Drain(id topology.LinkID) {
-	if !r.drained[id] {
-		r.drained[id] = true
-		r.Invalidate()
+	if r.drained[id] {
+		return
 	}
+	r.drained[id] = true
+	r.drainedN++
+	r.InvalidateLink(id)
 }
 
 // Undrain returns the link to service.
 func (r *Router) Undrain(id topology.LinkID) {
-	if r.drained[id] {
-		r.drained[id] = false
-		r.Invalidate()
+	if !r.drained[id] {
+		return
 	}
+	r.drained[id] = false
+	r.drainedN--
+	r.InvalidateLink(id)
 }
 
 // Drained reports the administrative state.
 func (r *Router) Drained(id topology.LinkID) bool { return r.drained[id] }
 
 // DrainedCount returns how many links are currently drained.
-func (r *Router) DrainedCount() int {
-	n := 0
-	for _, d := range r.drained {
-		if d {
-			n++
+func (r *Router) DrainedCount() int { return r.drainedN }
+
+// Epoch returns the current cache epoch. It advances exactly when an
+// invalidation changed the usable subgraph, so tests can assert that no-op
+// transitions cost nothing.
+func (r *Router) Epoch() uint64 { return r.cacheEpoch }
+
+// InvalidateLink reacts to a state change of one link (flap, drain, undrain,
+// repair), evicting only the cached state the change can affect:
+//
+//   - If the link's usability did not change (a Healthy→Flapping transition,
+//     a drain of an already-down link), nothing is evicted.
+//   - If the link left the usable subgraph, only destinations whose distance
+//     field crossed it on a shortest path (per the reverse index) can change,
+//     and most of those survive unchanged thanks to ECMP redundancy — their
+//     fields are verified in place and only the path sets that actually
+//     traversed the link (per the link→pairs index) re-enumerate.
+//   - If the link joined the subgraph, a destination's field changes only if
+//     the link bridges devices the field ranks ≥2 apart (an edge between
+//     equidistant devices can never lie on a shortest path; one bridging a
+//     single hop leaves all distances intact). For surviving fields the new
+//     edge may still join the ECMP DAG, so the pairs it would serve — decided
+//     in O(1) from the two endpoint fields — are evicted exactly.
+//
+// Evicting a distance field implicitly invalidates its dependent path sets
+// via the epoch stamp; they are re-enumerated on next use.
+func (r *Router) InvalidateLink(id topology.LinkID) {
+	l := r.net.Links[id]
+	u := r.Usable(l)
+	if u == r.lastUsable[id] {
+		return
+	}
+	r.lastUsable[id] = u
+	r.cacheEpoch++
+	if !u {
+		r.linkDown(id)
+	} else {
+		r.linkUp(id, l.A.Device.ID, l.B.Device.ID)
+	}
+}
+
+// linkDown handles link id leaving the usable subgraph. Each distance field
+// that recorded the link as tight is recomputed and compared: an unchanged
+// field keeps its stamp (so its path sets stay valid), a changed one is
+// swapped in under a fresh stamp. Path sets that traversed the link are
+// evicted exactly, via the link→pairs index.
+func (r *Router) linkDown(id topology.LinkID) {
+	deps := r.linkDeps[id]
+	for dst, stamp := range deps {
+		e, ok := r.distCache[dst]
+		if !ok || e.stamp != stamp {
+			continue // stale registration; the field was already replaced
+		}
+		if cap(r.scratchDist) < len(r.net.Devices) {
+			r.scratchDist = make([]int, len(r.net.Devices))
+		}
+		nd := r.scratchDist[:len(r.net.Devices)]
+		r.queue = r.net.HopDistancesInto(dst, r.usableFn, nd, r.queue)
+		if intsEqual(nd, e.dist) {
+			continue // redundancy absorbed the loss: field, stamp and deps stand
+		}
+		// Distances changed: install the freshly computed field under a new
+		// stamp; dependent path sets go stale lazily via the stamp check.
+		r.scratchDist = e.dist
+		r.distCache[dst] = distEntry{dist: nd, stamp: r.cacheEpoch}
+		r.recordDeps(dst, nd, r.cacheEpoch)
+	}
+	clear(deps)
+	for _, ref := range r.linkPairs[id] {
+		if pe, ok := r.cache[ref.key]; ok && pe.seq == ref.seq {
+			r.evictPair(ref.key, pe)
 		}
 	}
-	return n
+	r.linkPairs[id] = r.linkPairs[id][:0]
 }
 
-// Invalidate flushes the path cache. Callers must invoke it (directly or
-// via Drain/Undrain) whenever link health changes; the controller wires
-// this to telemetry alerts.
+// linkUp handles the link a↔b joining the usable subgraph. Fields ranking
+// the endpoints equal are untouched; fields ranking them ≥2 apart (or one
+// side unreachable) shorten and are evicted. Fields ranking them exactly one
+// apart keep their distances but gain a DAG edge: the pair scan evicts
+// precisely the (src,dst) sets for which some shortest path now crosses the
+// new edge — src reaches one endpoint, the hop descends toward dst, and the
+// combined length matches the cached src→dst distance.
+func (r *Router) linkUp(id topology.LinkID, a, b topology.DeviceID) {
+	for dst, e := range r.distCache {
+		da, db := e.dist[a], e.dist[b]
+		if da == db {
+			continue // equidistant (or both unreachable): never on a shortest path
+		}
+		if da < 0 || db < 0 || da-db > 1 || db-da > 1 {
+			r.evictDist(dst, e) // the link shortens or newly connects routes to dst
+			continue
+		}
+		// |da-db| == 1: distances survive, but the link is now tight toward
+		// dst — register it so a future down-transition re-verifies this
+		// field, and let the pair scan below handle the DAG change.
+		deps := r.linkDeps[id]
+		if deps == nil {
+			deps = make(map[topology.DeviceID]uint64)
+			r.linkDeps[id] = deps
+		}
+		deps[dst] = e.stamp
+	}
+	for key, pe := range r.cache {
+		dst := key[1]
+		de, ok := r.distCache[dst]
+		if !ok || de.stamp != pe.stamp {
+			continue // already stale; re-enumerates on next use
+		}
+		x, y := a, b
+		dx, dy := de.dist[x], de.dist[y]
+		if dx < dy {
+			x, dx, dy = y, dy, dx
+		}
+		if dx < 0 || dy < 0 || dx-dy != 1 {
+			continue // link not tight toward dst: no new paths for any source
+		}
+		t := de.dist[key[0]]
+		if t < 0 {
+			continue // still unreachable: surviving fields are exact
+		}
+		se, ok := r.distCache[key[0]]
+		if !ok {
+			// No field for the source end, so we cannot prove the new edge
+			// lies off every shortest path; evict conservatively.
+			r.evictPair(key, pe)
+			continue
+		}
+		if sx := se.dist[x]; sx >= 0 && sx+1+dy == t {
+			r.evictPair(key, pe) // the new edge is on a shortest src→dst path
+		}
+	}
+}
+
+func (r *Router) evictDist(dst topology.DeviceID, e distEntry) {
+	delete(r.distCache, dst)
+	r.freeDists = append(r.freeDists, e.dist)
+}
+
+func (r *Router) evictPair(key [2]topology.DeviceID, pe pathEntry) {
+	delete(r.cache, key)
+	r.freePaths = append(r.freePaths, pe.paths...)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate flushes every cached distance field and path set — the
+// fallback for bulk topology edits or direct health-map mutation outside
+// the per-link notification path. Single-link transitions should use
+// InvalidateLink instead.
 func (r *Router) Invalidate() {
 	r.cacheEpoch++
+	for _, pe := range r.cache {
+		r.freePaths = append(r.freePaths, pe.paths...)
+	}
 	clear(r.cache)
+	for _, e := range r.distCache {
+		r.freeDists = append(r.freeDists, e.dist)
+	}
 	clear(r.distCache)
+	for _, deps := range r.linkDeps {
+		clear(deps)
+	}
+	for i := range r.linkPairs {
+		r.linkPairs[i] = r.linkPairs[i][:0]
+	}
+	for i, l := range r.net.Links {
+		r.lastUsable[i] = r.Usable(l)
+	}
 }
 
-// distTo returns cached BFS hop distances toward dst over usable links.
-// Caching per destination is what makes evaluating thousands of demands
-// cheap: one BFS serves every source.
-func (r *Router) distTo(dst topology.DeviceID) []int {
-	if d, ok := r.distCache[dst]; ok {
-		return d
+// distEntryFor returns the cached BFS distance field toward dst, computing
+// and indexing it if absent. Caching per destination is what makes
+// evaluating thousands of demands cheap: one BFS serves every source.
+func (r *Router) distEntryFor(dst topology.DeviceID) distEntry {
+	if e, ok := r.distCache[dst]; ok {
+		return e
 	}
-	d := r.net.HopDistances(dst, r.Usable)
-	r.distCache[dst] = d
-	return d
+	var d []int
+	if n := len(r.freeDists); n > 0 {
+		d = r.freeDists[n-1]
+		r.freeDists[n-1] = nil
+		r.freeDists = r.freeDists[:n-1]
+	} else {
+		d = make([]int, len(r.net.Devices))
+	}
+	r.queue = r.net.HopDistancesInto(dst, r.usableFn, d, r.queue)
+	e := distEntry{dist: d, stamp: r.cacheEpoch}
+	r.distCache[dst] = e
+	r.recordDeps(dst, d, e.stamp)
+	return e
+}
+
+// recordDeps registers which usable links the field depends on: exactly the
+// links on some shortest path toward dst. Any other link's state change
+// leaves both the distances and the ECMP DAG untouched.
+func (r *Router) recordDeps(dst topology.DeviceID, d []int, stamp uint64) {
+	r.net.ShortestPathLinks(d, r.usableFn, func(l *topology.Link) {
+		deps := r.linkDeps[l.ID]
+		if deps == nil {
+			deps = make(map[topology.DeviceID]uint64)
+			r.linkDeps[l.ID] = deps
+		}
+		deps[dst] = stamp
+	})
 }
 
 // paths returns cached equal-cost shortest paths for a pair, enumerated
-// over the ECMP DAG induced by the cached distance field.
+// over the ECMP DAG induced by the cached distance field. A cached set is
+// served only while its stamp matches the field it was built over.
 func (r *Router) paths(src, dst topology.DeviceID) []topology.Path {
+	if src == dst {
+		return nil
+	}
+	e := r.distEntryFor(dst)
 	key := [2]topology.DeviceID{src, dst}
-	if p, ok := r.cache[key]; ok {
-		return p
+	if pe, ok := r.cache[key]; ok {
+		if pe.stamp == e.stamp {
+			return pe.paths
+		}
+		r.freePaths = append(r.freePaths, pe.paths...)
 	}
 	var out []topology.Path
-	if src != dst {
-		dist := r.distTo(dst)
-		if dist[src] >= 0 {
-			var cur topology.Path
-			var walk func(d topology.DeviceID)
-			walk = func(d topology.DeviceID) {
-				if len(out) >= r.MaxPaths {
-					return
+	if dist := e.dist; dist[src] >= 0 {
+		var cur topology.Path
+		var walk func(d topology.DeviceID)
+		walk = func(d topology.DeviceID) {
+			if len(out) >= r.MaxPaths {
+				return
+			}
+			if d == dst {
+				p := r.newPath(len(cur))
+				copy(p, cur)
+				out = append(out, p)
+				return
+			}
+			for _, np := range r.net.Neighbors(d) {
+				if !r.Usable(np.Link) {
+					continue
 				}
-				if d == dst {
-					out = append(out, append(topology.Path(nil), cur...))
-					return
-				}
-				for _, np := range r.net.Neighbors(d) {
-					if !r.Usable(np.Link) {
-						continue
-					}
-					if pd := dist[np.Peer.ID]; pd >= 0 && pd == dist[d]-1 {
-						cur = append(cur, np.Link)
-						walk(np.Peer.ID)
-						cur = cur[:len(cur)-1]
-						if len(out) >= r.MaxPaths {
-							return
-						}
+				if pd := dist[np.Peer.ID]; pd >= 0 && pd == dist[d]-1 {
+					cur = append(cur, np.Link)
+					walk(np.Peer.ID)
+					cur = cur[:len(cur)-1]
+					if len(out) >= r.MaxPaths {
+						return
 					}
 				}
 			}
-			walk(src)
+		}
+		walk(src)
+	}
+	r.pairSeq++
+	r.cache[key] = pathEntry{paths: out, stamp: e.stamp, seq: r.pairSeq}
+	// Register every distinct link the paths traverse in the link→pairs
+	// index, so a down-transition can evict exactly this entry.
+	for _, p := range out {
+		for _, l := range p {
+			if r.linkMark[l.ID] != r.pairSeq {
+				r.linkMark[l.ID] = r.pairSeq
+				r.linkPairs[l.ID] = append(r.linkPairs[l.ID], pairRef{key: key, seq: r.pairSeq})
+			}
 		}
 	}
-	r.cache[key] = out
 	return out
+}
+
+// newPath returns a path slice of length n, recycled from evicted entries
+// when one with enough capacity is available.
+func (r *Router) newPath(n int) topology.Path {
+	for len(r.freePaths) > 0 {
+		last := len(r.freePaths) - 1
+		p := r.freePaths[last]
+		r.freePaths[last] = nil
+		r.freePaths = r.freePaths[:last]
+		if cap(p) >= n {
+			return p[:n]
+		}
+	}
+	return make(topology.Path, n)
 }
 
 // Assessment is the result of evaluating a traffic matrix.
@@ -185,29 +483,74 @@ func (a Assessment) String() string {
 		a.OfferedGbps, a.SatisfiedGbps, a.Availability(), a.Unreachable, a.MaxUtil)
 }
 
+// routed is one demand's routing decision within an evaluation.
+type routed struct {
+	paths []topology.Path
+	share float64
+}
+
+// Workspace holds the scratch buffers one traffic-matrix evaluation needs.
+// A zero Workspace is ready to use; buffers grow to the fabric size on
+// first evaluation and are retained, so steady-state assessment through
+// EvaluateInto allocates nothing. A Workspace must not be shared across
+// goroutines.
+type Workspace struct {
+	perDemand []float64
+	linkLoad  []float64
+	over      []float64
+	routes    []routed
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // Evaluate routes the matrix over the usable subgraph: each demand splits
 // evenly across its equal-cost paths, and each demand's achieved rate is
 // its offered rate divided by the worst overload factor along its paths —
 // a one-shot approximation of proportional sharing under congestion.
+// The returned Assessment owns its slices; hot loops that do not retain
+// results should use EvaluateInto instead.
 func (r *Router) Evaluate(tm TrafficMatrix) Assessment {
+	as := r.EvaluateInto(&r.ws, tm)
+	as.PerDemand = append([]float64(nil), as.PerDemand...)
+	as.LinkLoad = append([]float64(nil), as.LinkLoad...)
+	return as
+}
+
+// EvaluateInto is Evaluate against caller-owned scratch: the returned
+// Assessment's PerDemand and LinkLoad alias ws buffers and are valid until
+// the workspace's next evaluation. With warm caches it performs zero heap
+// allocations.
+func (r *Router) EvaluateInto(ws *Workspace, tm TrafficMatrix) Assessment {
+	nd, nl := len(tm.Demands), len(r.net.Links)
+	ws.perDemand = growFloats(ws.perDemand, nd)
+	ws.linkLoad = growFloats(ws.linkLoad, nl)
+	ws.over = growFloats(ws.over, nl)
+	if cap(ws.routes) < nd {
+		ws.routes = make([]routed, nd)
+	} else {
+		ws.routes = ws.routes[:nd]
+	}
 	as := Assessment{
-		PerDemand: make([]float64, len(tm.Demands)),
-		LinkLoad:  make([]float64, len(r.net.Links)),
+		PerDemand: ws.perDemand,
+		LinkLoad:  ws.linkLoad,
 	}
-	type routed struct {
-		paths []topology.Path
-		share float64
-	}
-	routes := make([]routed, len(tm.Demands))
 	for i, d := range tm.Demands {
 		as.OfferedGbps += d.Gbps
 		paths := r.paths(d.Src, d.Dst)
 		if len(paths) == 0 {
+			ws.routes[i] = routed{}
 			as.Unreachable++
 			continue
 		}
 		share := d.Gbps / float64(len(paths))
-		routes[i] = routed{paths: paths, share: share}
+		ws.routes[i] = routed{paths: paths, share: share}
 		for _, p := range paths {
 			for _, l := range p {
 				as.LinkLoad[l.ID] += share
@@ -215,7 +558,6 @@ func (r *Router) Evaluate(tm TrafficMatrix) Assessment {
 		}
 	}
 	// Overload factors.
-	over := make([]float64, len(r.net.Links))
 	for id, load := range as.LinkLoad {
 		cap := r.net.Links[id].GbpsCap
 		if cap <= 0 {
@@ -226,22 +568,22 @@ func (r *Router) Evaluate(tm TrafficMatrix) Assessment {
 			as.MaxUtil = u
 		}
 		if u > 1 {
-			over[id] = u
+			ws.over[id] = u
 		}
 	}
 	for i, d := range tm.Demands {
-		if routes[i].paths == nil {
+		if ws.routes[i].paths == nil {
 			continue
 		}
 		achieved := 0.0
-		for _, p := range routes[i].paths {
+		for _, p := range ws.routes[i].paths {
 			worst := 1.0
 			for _, l := range p {
-				if over[l.ID] > worst {
-					worst = over[l.ID]
+				if ws.over[l.ID] > worst {
+					worst = ws.over[l.ID]
 				}
 			}
-			achieved += routes[i].share / worst
+			achieved += ws.routes[i].share / worst
 		}
 		as.SatisfiedGbps += achieved
 		as.PerDemand[i] = achieved / d.Gbps

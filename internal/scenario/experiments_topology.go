@@ -84,7 +84,8 @@ func F4Maintainability(r *Runner) (*metrics.Figure, *metrics.Table, error) {
 						}
 					}
 				}
-				a := router.Evaluate(routing.UniformMatrix(net, offered))
+				var ws routing.Workspace
+				a := router.EvaluateInto(&ws, routing.UniformMatrix(net, offered))
 				return f4{rep: rep, perSwitch: a.SatisfiedGbps / float64(net.Stats().Switches)}, nil
 			},
 		})
@@ -366,10 +367,11 @@ func F6FlapLatency(r *Runner, seed uint64) (*metrics.Figure, error) {
 					return 0
 				}
 				var c f6
+				var ws routing.Workspace
 				onset := 10 * sim.Hour
 				w.Eng.Schedule(onset, "break", func() { w.Inj.InduceFault(link, faults.Contamination) })
 				w.Eng.Every(onset, sim.Hour, "latency-sample", func(at sim.Time) {
-					a := w.Router.Evaluate(tm)
+					a := w.Router.EvaluateInto(&ws, tm)
 					pc := lm.WorstPairLatency(w.Router, tm, a, lossFn)
 					c.xs = append(c.xs, (at - onset).Duration().Hours())
 					c.ys = append(c.ys, pc.P999)

@@ -231,11 +231,18 @@ func Select(ids []string) ([]Experiment, error) {
 }
 
 // ExperimentBench is one experiment's perf record in the BENCH artifact.
+// The allocation columns are process-wide runtime.MemStats deltas taken
+// around the experiment: exact on a serial run; with workers > 1 the
+// experiments overlap in time, so concurrent allocation is attributed to
+// whichever experiments were in flight (the suite-level total is measured
+// independently and stays correct either way).
 type ExperimentBench struct {
-	ID          string  `json:"id"`
-	Cells       int     `json:"cells"`
-	WallSeconds float64 `json:"wall_seconds"`
-	CellsPerSec float64 `json:"cells_per_sec"`
+	ID           string  `json:"id"`
+	Cells        int     `json:"cells"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	AllocObjects uint64  `json:"alloc_objects"`
+	AllocMBytes  float64 `json:"alloc_mbytes"`
 }
 
 // Bench is the machine-readable perf artifact (BENCH_experiments.json)
@@ -247,6 +254,7 @@ type Bench struct {
 	TotalCells       int               `json:"total_cells"`
 	TotalWallSeconds float64           `json:"total_wall_seconds"`
 	CellsPerSec      float64           `json:"cells_per_sec"`
+	TotalAllocMBytes float64           `json:"total_alloc_mbytes"`
 	Experiments      []ExperimentBench `json:"experiments"`
 }
 
@@ -264,13 +272,20 @@ func RunSuite(r *Runner, exps []Experiment, p SuiteParams) ([]Artifact, *Bench, 
 		err   error
 	}
 	slots := make([]slot, len(exps))
+	var suiteM0 runtime.MemStats
+	runtime.ReadMemStats(&suiteM0)
 	start := time.Now()
 	runOne := func(i int) {
 		sub := r.Split()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		t0 := time.Now()
 		arts, err := exps[i].run(sub, p)
 		wall := time.Since(t0).Seconds()
-		eb := ExperimentBench{ID: exps[i].ID, Cells: sub.CellsRun(), WallSeconds: wall}
+		runtime.ReadMemStats(&m1)
+		eb := ExperimentBench{ID: exps[i].ID, Cells: sub.CellsRun(), WallSeconds: wall,
+			AllocObjects: m1.Mallocs - m0.Mallocs,
+			AllocMBytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)}
 		if wall > 0 {
 			eb.CellsPerSec = float64(eb.Cells) / wall
 		}
@@ -313,5 +328,8 @@ func RunSuite(r *Runner, exps []Experiment, p SuiteParams) ([]Artifact, *Bench, 
 	if bench.TotalWallSeconds > 0 {
 		bench.CellsPerSec = float64(bench.TotalCells) / bench.TotalWallSeconds
 	}
+	var suiteM1 runtime.MemStats
+	runtime.ReadMemStats(&suiteM1)
+	bench.TotalAllocMBytes = float64(suiteM1.TotalAlloc-suiteM0.TotalAlloc) / (1 << 20)
 	return arts, bench, nil
 }

@@ -7,9 +7,11 @@ import (
 	"math/rand/v2"
 )
 
-// Event is a scheduled callback in the simulation. Events are created by
-// Engine.Schedule and friends and may be cancelled until they fire.
-type Event struct {
+// event is a scheduled callback in the simulation. Event structs are pooled:
+// once an event fires or is cancelled its struct returns to the engine's
+// free list and is reused by a later Schedule, so steady-state scheduling
+// allocates nothing. External code holds Handles, never event pointers.
+type event struct {
 	at     Time
 	seq    uint64 // tie-break: schedule order within the same instant
 	name   string
@@ -18,31 +20,40 @@ type Event struct {
 	engine *Engine
 }
 
-// At returns the instant the event is (or was) scheduled to fire.
-func (ev *Event) At() Time { return ev.at }
+// Handle refers to a scheduled event. It is a small comparable value, safe
+// to copy and to keep after the event has fired: because event structs are
+// recycled, the handle captures the scheduling sequence number and every
+// operation first checks it, so a stale handle to a reused struct is inert
+// (Pending reports false, Cancel does nothing).
+type Handle struct {
+	ev  *event
+	seq uint64
+}
 
-// Name returns the diagnostic name given at scheduling time.
-func (ev *Event) Name() string { return ev.name }
-
-// Pending reports whether the event is still queued to fire.
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+// Pending reports whether the referenced event is still queued to fire.
+// The zero Handle reports false.
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.seq == h.seq && h.ev.index >= 0
+}
 
 // Cancel removes the event from the queue. It returns true if the event was
-// still pending, false if it had already fired or been cancelled.
-func (ev *Event) Cancel() bool {
-	if ev == nil || ev.index < 0 {
+// still pending, false if it had already fired, been cancelled, or the
+// handle is stale or zero.
+func (h Handle) Cancel() bool {
+	if !h.Pending() {
 		return false
 	}
+	ev := h.ev
 	heap.Remove(&ev.engine.queue, ev.index)
 	ev.index = -1
-	ev.fn = nil
+	ev.engine.recycle(ev)
 	return true
 }
 
 // eventQueue is a min-heap ordered by (at, seq) so that simultaneous events
 // fire in the order they were scheduled — the property that makes runs
 // deterministic.
-type eventQueue []*Event
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
@@ -57,7 +68,7 @@ func (q eventQueue) Swap(i, j int) {
 	q[j].index = j
 }
 func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*q)
 	*q = append(*q, ev)
 }
@@ -86,6 +97,7 @@ type Engine struct {
 	rngs   map[string]*Stream
 	tracer Tracer
 	fired  uint64
+	free   []*event // recycled event structs
 }
 
 // NewEngine returns an engine at the simulation epoch whose named RNG
@@ -109,34 +121,51 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // SetTracer installs fn to observe every fired event; nil disables tracing.
 func (e *Engine) SetTracer(fn Tracer) { e.tracer = fn }
 
+// recycle returns a fired or cancelled event struct to the free list. The
+// struct keeps its seq until reuse, so outstanding Handles stay valid-but-
+// inert: their seq matches but index is -1.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.name = ""
+	e.free = append(e.free, ev)
+}
+
 // Schedule queues fn to run at instant at. Scheduling in the past (before
 // Now) panics: it is always a model bug, and silently reordering time would
 // corrupt every downstream statistic. name is used only for diagnostics.
-func (e *Engine) Schedule(at Time, name string, fn func()) *Event {
+func (e *Engine) Schedule(at Time, name string, fn func()) Handle {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, name: name, fn: fn, engine: e}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	*ev = event{at: at, seq: e.seq, name: name, fn: fn, engine: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return Handle{ev: ev, seq: ev.seq}
 }
 
 // After queues fn to run d after the current instant. Negative d panics.
-func (e *Engine) After(d Time, name string, fn func()) *Event {
+func (e *Engine) After(d Time, name string, fn func()) Handle {
 	return e.Schedule(e.now+d, name, fn)
 }
 
 // Ticker repeatedly reschedules a callback at a fixed interval until stopped.
 type Ticker struct {
-	ev      *Event
+	h       Handle
 	stopped bool
 }
 
 // Stop cancels future ticks. It is safe to call multiple times.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	t.ev.Cancel()
+	t.h.Cancel()
 }
 
 // Every schedules fn to run every interval, first at start. The callback
@@ -150,11 +179,11 @@ func (e *Engine) Every(start Time, interval Time, name string, fn func(Time)) *T
 	tick = func() {
 		at := e.now
 		if !t.stopped {
-			t.ev = e.Schedule(at+interval, name, tick)
+			t.h = e.Schedule(at+interval, name, tick)
 		}
 		fn(at)
 	}
-	t.ev = e.Schedule(start, name, tick)
+	t.h = e.Schedule(start, name, tick)
 	return t
 }
 
@@ -164,14 +193,16 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.fired++
 	if e.tracer != nil {
 		e.tracer(ev.at, ev.name)
 	}
 	fn := ev.fn
-	ev.fn = nil
+	// Recycle before running fn: the struct may be reused by events fn
+	// schedules; any handle to this firing gets a fresh seq mismatch.
+	e.recycle(ev)
 	fn()
 	return true
 }

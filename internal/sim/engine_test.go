@@ -252,7 +252,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 	f := func(offsets []uint16, mask []bool) bool {
 		e := NewEngine(1)
 		firedCount := 0
-		events := make([]*Event, len(offsets))
+		events := make([]Handle, len(offsets))
 		for i, off := range offsets {
 			events[i] = e.Schedule(Time(off)*Millisecond, "p", func() { firedCount++ })
 		}
@@ -269,6 +269,57 @@ func TestCancelSubsetProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Stale handles to recycled event structs must be inert: Pending false,
+// Cancel refused — even when the struct has been reused by a later event.
+func TestStaleHandleIsInertAfterRecycle(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	h := e.Schedule(Second, "first", func() { fired++ })
+	e.Run()
+	h2 := e.Schedule(2*Second, "second", func() { fired++ })
+	if h.Pending() {
+		t.Fatal("fired event still pending via stale handle")
+	}
+	if h.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	if !h2.Pending() {
+		t.Fatal("new event not pending")
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestZeroHandleIsInert(t *testing.T) {
+	var h Handle
+	if h.Pending() {
+		t.Fatal("zero handle pending")
+	}
+	if h.Cancel() {
+		t.Fatal("zero handle cancelled something")
+	}
+}
+
+// The event free list makes steady-state scheduling allocation-free once
+// the queue and free list have warmed up.
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i)*Millisecond, "warm", fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		e.After(Millisecond, "steady", fn)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+fire allocated %.1f/op in steady state", allocs)
 	}
 }
 

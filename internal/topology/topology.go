@@ -79,10 +79,17 @@ type Port struct {
 	Index  int // position on the device's panel, 0-based
 	Link   *Link
 	Xcvr   *Transceiver // nil for ports using DAC or empty ports
+
+	name string // memoized Name; identity is immutable after construction
 }
 
 // Name returns "device/pN".
-func (p *Port) Name() string { return fmt.Sprintf("%s/p%d", p.Device.Name, p.Index) }
+func (p *Port) Name() string {
+	if p.name == "" {
+		p.name = fmt.Sprintf("%s/p%d", p.Device.Name, p.Index)
+	}
+	return p.name
+}
 
 // Peer returns the port at the other end of p's link, or nil if unlinked.
 func (p *Port) Peer() *Port {
@@ -103,10 +110,17 @@ type Link struct {
 	Cable     *Cable
 	GbpsCap   float64 // capacity per direction
 	Redundant bool    // marked as an intentionally redundant/spare link
+
+	name string // memoized Name; endpoints are immutable after construction
 }
 
 // Name returns "a<->b" using the endpoint port names.
-func (l *Link) Name() string { return l.A.Name() + "<->" + l.B.Name() }
+func (l *Link) Name() string {
+	if l.name == "" {
+		l.name = l.A.Name() + "<->" + l.B.Name()
+	}
+	return l.name
+}
 
 // Devices returns the two endpoint devices.
 func (l *Link) Devices() (*Device, *Device) { return l.A.Device, l.B.Device }

@@ -309,7 +309,7 @@ func (c *Cluster) TicketLog() []string {
 // Availability evaluates a uniform traffic matrix of the given total load
 // (Gbps) and returns the satisfied fraction right now.
 func (c *Cluster) Availability(totalGbps float64) float64 {
-	return c.w.Router.Evaluate(routing.UniformMatrix(c.w.Net, totalGbps)).Availability()
+	return c.w.TrafficAvailability(routing.UniformMatrix(c.w.Net, totalGbps))
 }
 
 // ServiceWindowCDF returns (hours, fraction) pairs for resolved reactive
