@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-quick experiments-quick ci
+.PHONY: all build test race vet lint fmt fmt-check bench bench-quick experiments-quick ci
 
 all: build
 
@@ -15,6 +15,10 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific determinism and hot-path analyzers (see internal/lint).
+lint:
+	$(GO) run ./cmd/selfmaintlint ./...
 
 fmt:
 	gofmt -w .

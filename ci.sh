@@ -9,6 +9,9 @@ go build ./...
 echo "== go vet"
 go vet ./...
 
+echo "== selfmaintlint"
+go run ./cmd/selfmaintlint ./...
+
 echo "== gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then

@@ -48,6 +48,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Validate profile destinations up front: -memprofile is only opened
+	// after the whole suite has run, and discovering a typo in the path
+	// then throws the run away.
+	for _, p := range []struct{ flag, path string }{
+		{"-cpuprofile", *cpuProf},
+		{"-memprofile", *memProf},
+	} {
+		if p.path == "" {
+			continue
+		}
+		dir := filepath.Dir(p.path)
+		if info, err := os.Stat(dir); err != nil {
+			fail(fmt.Errorf("%s %s: directory %q does not exist", p.flag, p.path, dir))
+		} else if !info.IsDir() {
+			fail(fmt.Errorf("%s %s: %q is not a directory", p.flag, p.path, dir))
+		}
+	}
+
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {

@@ -110,6 +110,7 @@ func (a *Act) kickDispatch() {
 func (a *Act) dispatch() {
 	now := a.c.d.Eng.Now()
 	items := make([]*workItem, 0, len(a.work))
+	//lint:allow mapiter collected items get a total (priority, age, id) sort below; iteration order cannot survive it
 	for _, w := range a.work {
 		if w.active || w.t.Status == ticket.Resolved || w.t.Status == ticket.Cancelled {
 			continue

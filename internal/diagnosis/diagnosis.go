@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/detsort"
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -159,13 +160,18 @@ func (e *Engine) rankCauses(l *topology.Link, symptom faults.Health, a, b faults
 		w[faults.SwitchPort] = 0.2
 	}
 
+	// Sum and emit in sorted-cause order: float addition does not
+	// associate, so summing in map order would make the normalized weights
+	// (and everything downstream of them) vary from run to run at the last
+	// bit.
+	causes := detsort.Keys(w)
 	var total float64
-	for _, v := range w {
-		total += v
+	for _, cause := range causes {
+		total += w[cause]
 	}
 	out := make([]Suspect, 0, len(w))
-	for cause, v := range w {
-		out = append(out, Suspect{Cause: cause, Weight: v / total})
+	for _, cause := range causes {
+		out = append(out, Suspect{Cause: cause, Weight: w[cause] / total})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Weight != out[j].Weight {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/detsort"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -171,7 +172,10 @@ type ProvisioningRow struct {
 // group, producing the paper's overprovisioning-vs-repair-speed tradeoff.
 func ProvisioningSweep(links int, annualRate, target float64, regimes map[string]sim.Time) []ProvisioningRow {
 	out := make([]ProvisioningRow, 0, len(regimes))
-	for name, mttr := range regimes {
+	// Sorted-name iteration keeps rows with equal MTTR in a stable order
+	// (the insertion sort below is stable, so ties keep this base order).
+	for _, name := range detsort.Keys(regimes) {
+		mttr := regimes[name]
 		k := RedundancyNeeded(ProvisioningInput{
 			Links: links, AnnualRate: annualRate, MTTR: mttr, Target: target,
 		})

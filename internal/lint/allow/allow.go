@@ -1,0 +1,109 @@
+// Package allow implements the //lint:allow suppression directive shared by
+// the selfmaintlint driver and the analysistest harness.
+//
+// Syntax:
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// A directive suppresses diagnostics of the named analyzer on the
+// directive's own line and on the line immediately below it, so it works
+// both as a trailing comment on the offending line and as a standalone
+// comment line above it. The reason is mandatory: an allow that does not
+// say why it is safe is itself a finding.
+package allow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Prefix is the directive marker. Like //go: directives there is no space
+// after the slashes.
+const Prefix = "//lint:allow"
+
+// Index records every well-formed directive of one package and every
+// malformed one (as a ready-to-report diagnostic).
+type Index struct {
+	// lines maps analyzer name -> filename -> set of suppressed lines.
+	lines map[string]map[string]map[int]bool
+	// Problems are malformed or unknown-analyzer directives.
+	Problems []analysis.Diagnostic
+}
+
+// Build scans the comments of files for directives. known is the set of
+// valid analyzer names; a directive naming anything else is a problem, so
+// typos cannot silently suppress nothing.
+func Build(fset *token.FileSet, files []*ast.File, known map[string]bool) *Index {
+	ix := &Index{lines: make(map[string]map[string]map[int]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Prefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, Prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // some other //lint:allowfoo token, not ours
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					ix.problemf(c.Pos(), "malformed %s directive: missing analyzer name", Prefix)
+				case !known[fields[0]]:
+					ix.problemf(c.Pos(), "%s names unknown analyzer %q", Prefix, fields[0])
+				case len(fields) == 1:
+					ix.problemf(c.Pos(), "%s %s needs a reason", Prefix, fields[0])
+				default:
+					pos := fset.Position(c.Pos())
+					ix.add(fields[0], pos.Filename, pos.Line)
+					ix.add(fields[0], pos.Filename, pos.Line+1)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *Index) problemf(pos token.Pos, format string, args ...any) {
+	ix.Problems = append(ix.Problems, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (ix *Index) add(name, file string, line int) {
+	byFile := ix.lines[name]
+	if byFile == nil {
+		byFile = make(map[string]map[int]bool)
+		ix.lines[name] = byFile
+	}
+	lines := byFile[file]
+	if lines == nil {
+		lines = make(map[int]bool)
+		byFile[file] = lines
+	}
+	lines[line] = true
+}
+
+// Allowed reports whether a diagnostic from analyzer name at pos is
+// suppressed by a directive.
+func (ix *Index) Allowed(name string, fset *token.FileSet, pos token.Pos) bool {
+	byFile := ix.lines[name]
+	if byFile == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return byFile[p.Filename][p.Line]
+}
+
+// Filter returns the diagnostics of analyzer name not suppressed by ix.
+func (ix *Index) Filter(name string, fset *token.FileSet, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ix.Allowed(name, fset, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

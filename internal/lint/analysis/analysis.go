@@ -1,0 +1,69 @@
+// Package analysis is a minimal, offline reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check,
+// a Pass hands it one type-checked package, and diagnostics optionally
+// carry machine-applicable suggested fixes.
+//
+// The build environment for this repository is hermetic (no module proxy),
+// so the real x/tools dependency cannot be fetched; this package keeps the
+// same field names and shapes so the selfmaintlint analyzers can migrate to
+// the upstream framework by swapping an import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph help text; the first line is the summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the interface between one analyzer and one package. All fields
+// are read-only to the analyzer except via Report.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. It is never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding. End may be token.NoPos.
+type Diagnostic struct {
+	Pos            token.Pos
+	End            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one machine-applicable rewrite that resolves the
+// diagnostic. Edits within one fix must not overlap.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

@@ -1,0 +1,172 @@
+// Package analysistest runs one analyzer over GOPATH-style testdata
+// packages and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// analyzer tests would port to the upstream harness unchanged.
+//
+// Expectations are written on the line the diagnostic is reported at:
+//
+//	time.Sleep(d) // want `wall clock`
+//
+// The argument is a regular expression in backquotes or a double-quoted Go
+// string; several patterns on one line expect several diagnostics. The
+// harness applies //lint:allow filtering before matching, so testdata can
+// assert both that a directive suppresses a finding and that the finding
+// fires without it.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Result is the outcome of analyzing one testdata package.
+type Result struct {
+	Pkg         *loader.Package
+	Diagnostics []analysis.Diagnostic
+}
+
+// Run loads each named package from dir/src/<path>, applies a, filters
+// through //lint:allow, and reports mismatches against // want comments as
+// test errors. It returns the per-package results so tests can make extra
+// assertions (e.g. on suggested fixes).
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) []Result {
+	t.Helper()
+	var results []Result
+	for _, path := range paths {
+		pkg, err := loader.LoadSource(loader.Config{
+			SrcRoots: []loader.SrcRoot{{Dir: dir + "/src"}},
+		}, path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: running %s: %v", path, a.Name, err)
+		}
+		ix := allow.Build(pkg.Fset, pkg.Files, map[string]bool{a.Name: true})
+		diags = ix.Filter(a.Name, pkg.Fset, diags)
+		checkWants(t, pkg, a.Name, diags)
+		results = append(results, Result{Pkg: pkg, Diagnostics: diags})
+	}
+	return results
+}
+
+// want is one expectation: a pattern at a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// checkWants matches diagnostics against // want comments one-to-one.
+func checkWants(t *testing.T, pkg *loader.Package, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats, err := parsePatterns(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", pos, err)
+					continue
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, p, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, name, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parsePatterns splits `a` "b" sequences into their string values.
+func parsePatterns(s string) ([]string, error) {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Find the closing quote with Go unquoting.
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			v, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			pats = append(pats, v)
+			s = strings.TrimSpace(s[end+1:])
+		default:
+			return nil, fmt.Errorf("want pattern must be backquoted or quoted, got %q", s)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return pats, nil
+}

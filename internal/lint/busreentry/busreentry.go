@@ -1,0 +1,117 @@
+// Package busreentry flags bus calls made from inside a bus handler. The
+// PR 2 re-entrancy bug — a tap created during delivery receiving the event
+// already in flight — came exactly from this shape: a func literal passed
+// to Subscribe/Tap that itself called back into the bus. The bus has
+// defined re-entrancy semantics now, but every such site changes delivery
+// ordering in ways that are easy to get wrong, so each one must either be
+// restructured (schedule the follow-up through the engine) or carry a
+// //lint:allow busreentry directive saying why the nesting is intended.
+//
+// The check is lexical: it sees only func literals passed directly at the
+// registration site, not named handler functions (those are assumed to be
+// reviewed entry points).
+package busreentry
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "busreentry",
+	Doc: "flag re-entrant bus calls inside handler literals\n\n" +
+		"Publishing or (un)subscribing from within a handler passed to\n" +
+		"Bus.Subscribe or Bus.Tap nests deliveries; each such site needs\n" +
+		"review (the PR 2 bug class).",
+	Run: run,
+}
+
+// registration describes how each Bus method receives its handler.
+var handlerArg = map[string]int{
+	"Subscribe": 1, // Subscribe(topic, fn)
+	"Tap":       0, // Tap(fn)
+}
+
+// reentrant lists the Bus methods that are delivery-affecting when called
+// mid-delivery. Cancel is excluded: the bus defines cancel-mid-delivery
+// exactly (the subscriber receives nothing further).
+var reentrant = map[string]bool{
+	"Publish":   true,
+	"Subscribe": true,
+	"Tap":       true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	reported := make(map[*ast.CallExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := busMethod(pass, call)
+			if !ok {
+				return true
+			}
+			argIdx, ok := handlerArg[name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			lit, ok := call.Args[argIdx].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				ic, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				iname, ok := busMethod(pass, ic)
+				if !ok || !reentrant[iname] || reported[ic] {
+					return true
+				}
+				reported[ic] = true
+				pass.Reportf(ic.Pos(),
+					"Bus.%s called inside a handler passed to Bus.%s: re-entrant bus calls nest deliveries (the PR 2 bug class); "+
+						"schedule the follow-up via the engine or annotate //lint:allow busreentry <reason>",
+					iname, name)
+				return true
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// busMethod reports the method name when call invokes a method on the bus
+// package's Bus type (matched by package name and type name, so analyzer
+// testdata stubs qualify alongside repro/internal/bus).
+func busMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Bus" || obj.Pkg() == nil || obj.Pkg().Name() != "bus" {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,12 @@
+package busreentry_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/busreentry"
+)
+
+func TestBusReentry(t *testing.T) {
+	analysistest.Run(t, "testdata", busreentry.Analyzer, "det/busreentry")
+}

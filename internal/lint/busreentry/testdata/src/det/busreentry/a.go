@@ -1,0 +1,44 @@
+package busreentry
+
+import "det/bus"
+
+func flagged(b *bus.Bus) {
+	b.Subscribe("link.down", func(ev bus.Event) {
+		b.Publish("repair.queued", ev.Payload) // want `Bus\.Publish called inside a handler passed to Bus\.Subscribe`
+	})
+	b.Tap(func(ev bus.Event) {
+		b.Subscribe("late", func(bus.Event) {}) // want `Bus\.Subscribe called inside a handler passed to Bus\.Tap`
+	})
+	b.Subscribe("outer", func(ev bus.Event) {
+		other := &bus.Bus{}
+		other.Tap(func(bus.Event) {}) // want `Bus\.Tap called inside a handler passed to Bus\.Subscribe`
+	})
+}
+
+func cancelIsFine(b *bus.Bus) {
+	var sub *bus.Subscription
+	sub = b.Subscribe("once", func(ev bus.Event) {
+		sub.Cancel() // cancel-mid-delivery has defined semantics: not flagged
+	})
+}
+
+func namedHandlersNotTraced(b *bus.Bus) {
+	// The check is lexical: a named function registered as a handler is a
+	// reviewed entry point, not an anonymous capture.
+	b.Subscribe("named", relay(b))
+}
+
+func relay(b *bus.Bus) bus.Handler {
+	return func(ev bus.Event) { forward(b, ev) }
+}
+
+func forward(b *bus.Bus, ev bus.Event) {
+	b.Publish("forwarded", ev.Payload) // not lexically inside a registration literal
+}
+
+func allowed(b *bus.Bus) {
+	b.Subscribe("chain", func(ev bus.Event) {
+		//lint:allow busreentry pipeline stage hand-off is publish-ordered by design
+		b.Publish("next", ev.Payload)
+	})
+}

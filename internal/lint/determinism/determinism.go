@@ -1,0 +1,32 @@
+// Package determinism declares which packages of this repository must be
+// byte-reproducible for a fixed seed. The selfmaintlint analyzers consult
+// this single list, so adding a package to the deterministic core is a
+// one-line change here rather than a per-analyzer edit.
+package determinism
+
+import "strings"
+
+// deterministic is the set of package-path prefixes whose code runs inside
+// the fixed-seed simulation. Everything under repro/internal plus the
+// public selfmaint façade is deterministic; cmd/ and examples/ are harness
+// and daemon code, free to read the wall clock.
+//
+// The "det/" namespace is reserved for analyzer testdata: analysistest
+// packages opt into the deterministic rules by living under it.
+var deterministic = []string{
+	"repro/internal/",
+	"repro/selfmaint",
+	"det/",
+}
+
+// Deterministic reports whether the package at path must uphold the
+// fixed-seed reproducibility invariants (no wall clock, no global RNG, no
+// unsorted map iteration on output paths).
+func Deterministic(path string) bool {
+	for _, p := range deterministic {
+		if path == strings.TrimSuffix(p, "/") || strings.HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+// Package globalrand forbids the process-global math/rand generators.
+// The global source is shared mutable state: any draw from rand.IntN or
+// rand.Shuffle interleaves with every other draw in the process, so adding
+// one experiment (or running cells in parallel, as the PR 2 harness does)
+// perturbs every other experiment's randomness. All randomness must flow
+// through a seeded *rand.Rand — in simulation code, through the engine's
+// named sim streams. Constructors (rand.New, rand.NewPCG, rand.NewSource,
+// rand.NewZipf, rand.NewChaCha8) are exactly how seeded generators are
+// built and stay legal, as do methods on a *rand.Rand value.
+package globalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbid the global math/rand generators everywhere\n\n" +
+		"Randomness must come from an explicitly seeded *rand.Rand (in\n" +
+		"simulation code, a sim.Engine stream); the process-global source\n" +
+		"couples every caller's sequence to every other's.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			// Methods (sig.Recv() != nil) are draws on an explicit
+			// generator; only package-level functions touch global state.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"rand.%s draws from the process-global generator; use a seeded *rand.Rand (sim.Engine.RNG stream) instead",
+				fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/globalrand"
+)
+
+func TestGlobalRand(t *testing.T) {
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "det/globalrand", "harness/globalrand")
+}

@@ -1,0 +1,28 @@
+package globalrand
+
+import "math/rand/v2"
+
+func bad() {
+	_ = rand.IntN(10)     // want `rand\.IntN draws from the process-global generator`
+	_ = rand.Float64()    // want `rand\.Float64 draws from the process-global generator`
+	rand.Shuffle(3, swap) // want `rand\.Shuffle draws from the process-global generator`
+	_ = rand.N(int64(5))  // want `rand\.N draws from the process-global generator`
+	_ = rand.Perm(4)      // want `rand\.Perm draws from the process-global generator`
+	f := rand.Uint64      // want `rand\.Uint64 draws from the process-global generator`
+	_ = f
+}
+
+func swap(i, j int) {}
+
+func good() {
+	rng := rand.New(rand.NewPCG(1, 2))
+	_ = rng.IntN(10)
+	_ = rng.Float64()
+	rng.Shuffle(3, swap)
+	src := rand.NewChaCha8([32]byte{})
+	_ = src
+}
+
+func allowed() {
+	_ = rand.IntN(10) //lint:allow globalrand jitter for a non-reproducible demo path
+}

@@ -1,0 +1,14 @@
+// Package globalrand lives outside det/, but the global-generator ban is
+// repo-wide: harness code gets flagged too (parallel cells share the
+// process-global source, so even bench-only draws perturb each other).
+package globalrand
+
+import "math/rand/v2"
+
+func harness() int {
+	return rand.IntN(100) // want `rand\.IntN draws from the process-global generator`
+}
+
+func seeded() int {
+	return rand.New(rand.NewPCG(7, 0)).IntN(100)
+}

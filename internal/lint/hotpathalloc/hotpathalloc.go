@@ -1,0 +1,301 @@
+// Package hotpathalloc flags detectable allocation sites in functions
+// annotated //selfmaint:hotpath. The annotated functions are the ones the
+// tier-1 AllocsPerRun assertions hold at (or near) zero — the steady-state
+// assessment, path enumeration, and event-pump loops — and this analyzer
+// moves the "someone added an allocation" signal from a failing benchmark
+// assertion after the fact to a vet-time finding with a file and line.
+//
+// Flagged sites:
+//
+//   - make and new calls
+//   - map and slice composite literals, and &T{...} (heap-escaping)
+//   - append inside a loop whose destination is not a parameter (growing a
+//     local or field per iteration)
+//   - fmt.Sprintf / Sprint / Sprintln / Errorf (formatting allocates)
+//   - string concatenation inside a loop
+//   - func literals inside a loop that capture the loop variable (each
+//     iteration allocates a fresh closure)
+//
+// The check is intraprocedural and syntactic: it cannot see escape
+// analysis, so deliberate cold-branch allocations (free-list refill, cache
+// miss) carry a //lint:allow hotpathalloc directive with the amortization
+// argument.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Directive marks a function whose body this analyzer checks.
+const Directive = "//selfmaint:hotpath"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "flag allocation sites in //selfmaint:hotpath functions\n\n" +
+		"Annotated functions back zero-alloc AllocsPerRun assertions;\n" +
+		"this check points at the exact line a new allocation enters.",
+	Run: run,
+}
+
+var fmtAllocs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd) {
+				continue
+			}
+			(&checker{pass: pass, params: paramObjs(pass, fd)}).check(fd.Body, 0)
+		}
+	}
+	return nil, nil
+}
+
+// isHotPath reports whether the declaration carries the hotpath directive.
+func isHotPath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// paramObjs collects the parameter (and receiver) objects of fd: appending
+// to a caller-provided buffer is the intended zero-alloc pattern, so those
+// destinations are exempt from the append rule.
+func paramObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return objs
+}
+
+// checker walks one hotpath function body tracking loop nesting and the
+// loop variables currently in scope.
+type checker struct {
+	pass     *analysis.Pass
+	params   map[types.Object]bool
+	loopVars []types.Object
+}
+
+// check visits stmts at the given loop depth. It recurses manually rather
+// than via ast.Inspect so it can track where loops begin.
+func (c *checker) check(n ast.Node, depth int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		c.check(n.Init, depth)
+		mark := len(c.loopVars)
+		c.noteLoopVars(n.Init)
+		c.check(n.Cond, depth+1)
+		c.check(n.Post, depth+1)
+		c.check(n.Body, depth+1)
+		c.loopVars = c.loopVars[:mark]
+		return
+	case *ast.RangeStmt:
+		c.check(n.X, depth)
+		mark := len(c.loopVars)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+					c.loopVars = append(c.loopVars, obj)
+				}
+			}
+		}
+		c.check(n.Body, depth+1)
+		c.loopVars = c.loopVars[:mark]
+		return
+	case *ast.CallExpr:
+		c.checkCall(n, depth)
+	case *ast.CompositeLit:
+		c.checkComposite(n, false)
+	case *ast.UnaryExpr:
+		if lit, ok := n.X.(*ast.CompositeLit); ok {
+			c.checkComposite(lit, true)
+			// Recurse into the literal's elements only.
+			for _, e := range lit.Elts {
+				c.check(e, depth)
+			}
+			return
+		}
+	case *ast.BinaryExpr:
+		c.checkStringConcat(n, depth)
+	case *ast.AssignStmt:
+		c.checkStringConcatAssign(n, depth)
+	case *ast.FuncLit:
+		c.checkClosure(n, depth)
+		// Statements inside the literal run when it is called; allocation
+		// sites in there still execute on the hot path, so keep walking.
+	}
+	// Generic recursion over children.
+	for _, child := range children(n) {
+		c.check(child, depth)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, depth int) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if b, ok := c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.pass.Reportf(call.Pos(), "make allocates in a //selfmaint:hotpath function; reuse a retained buffer or free list")
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in a //selfmaint:hotpath function; reuse a retained struct or free list")
+			case "append":
+				c.checkAppend(call, depth)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocs[fn.Name()] {
+			c.pass.Reportf(call.Pos(), "fmt.%s allocates in a //selfmaint:hotpath function; format off the hot path", fn.Name())
+		}
+	}
+}
+
+// checkAppend flags append-in-loop when the destination is not a parameter:
+// growing a local or a field per loop iteration is an allocation treadmill,
+// while appending into a caller-provided buffer is the reuse pattern.
+func (c *checker) checkAppend(call *ast.CallExpr, depth int) {
+	if depth == 0 || len(call.Args) == 0 {
+		return
+	}
+	if id, ok := call.Args[0].(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.params[obj] {
+			return
+		}
+	}
+	c.pass.Reportf(call.Pos(), "append to a non-parameter slice inside a loop in a //selfmaint:hotpath function; grow a reused buffer instead")
+}
+
+// checkComposite flags map/slice literals, and struct literals when their
+// address is taken (&T{...} escapes to the heap at this site).
+func (c *checker) checkComposite(lit *ast.CompositeLit, addressed bool) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates in a //selfmaint:hotpath function")
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal allocates in a //selfmaint:hotpath function")
+	default:
+		if addressed {
+			c.pass.Reportf(lit.Pos(), "&composite literal allocates in a //selfmaint:hotpath function; reuse a retained struct")
+		}
+	}
+}
+
+func (c *checker) checkStringConcat(b *ast.BinaryExpr, depth int) {
+	if depth == 0 || b.Op != token.ADD {
+		return
+	}
+	if t := c.pass.TypesInfo.TypeOf(b); t != nil {
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			c.pass.Reportf(b.Pos(), "string concatenation inside a loop allocates in a //selfmaint:hotpath function")
+		}
+	}
+}
+
+func (c *checker) checkStringConcatAssign(a *ast.AssignStmt, depth int) {
+	if depth == 0 || a.Tok != token.ADD_ASSIGN || len(a.Lhs) != 1 {
+		return
+	}
+	if t := c.pass.TypesInfo.TypeOf(a.Lhs[0]); t != nil {
+		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+			c.pass.Reportf(a.Pos(), "string += inside a loop allocates in a //selfmaint:hotpath function")
+		}
+	}
+}
+
+// checkClosure flags func literals in a loop that capture a loop variable:
+// the capture forces a per-iteration heap allocation.
+func (c *checker) checkClosure(lit *ast.FuncLit, depth int) {
+	if depth == 0 || len(c.loopVars) == 0 {
+		return
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured != "" {
+			return captured == ""
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			for _, lv := range c.loopVars {
+				if obj == lv {
+					captured = id.Name
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if captured != "" {
+		c.pass.Reportf(lit.Pos(), "closure captures loop variable %q in a //selfmaint:hotpath function: one allocation per iteration", captured)
+	}
+}
+
+// noteLoopVars records variables defined by a for-init statement.
+func (c *checker) noteLoopVars(init ast.Stmt) {
+	assign, ok := init.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for _, l := range assign.Lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				c.loopVars = append(c.loopVars, obj)
+			}
+		}
+	}
+}
+
+// children returns the immediate AST children of n, for the generic
+// recursion in check. ast.Inspect cannot be used directly because the
+// walk needs loop-depth context, so this enumerates via ast.Inspect one
+// level deep.
+func children(n ast.Node) []ast.Node {
+	if n == nil {
+		return nil
+	}
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(child ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if child != nil {
+			out = append(out, child)
+		}
+		return false
+	})
+	return out
+}

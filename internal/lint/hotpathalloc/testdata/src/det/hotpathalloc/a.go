@@ -1,0 +1,57 @@
+package hotpathalloc
+
+import "fmt"
+
+type item struct{ id int }
+
+//selfmaint:hotpath
+func flagged(in []int, out []int) []int {
+	m := make(map[int]bool)  // want `make allocates`
+	p := new(item)           // want `new allocates`
+	s := []int{1, 2}         // want `slice literal allocates`
+	mm := map[int]int{1: 2}  // want `map literal allocates`
+	q := &item{id: 3}        // want `&composite literal allocates`
+	_ = fmt.Sprintf("%d", 1) // want `fmt\.Sprintf allocates`
+	var local []int
+	name := ""
+	var fns []func() int
+	for _, v := range in {
+		local = append(local, v)                   // want `append to a non-parameter slice inside a loop`
+		name = name + "x"                          // want `string concatenation inside a loop allocates`
+		name += "y"                                // want `string \+= inside a loop allocates`
+		fns = append(fns, func() int { return v }) // want `append to a non-parameter slice inside a loop` `closure captures loop variable "v"`
+	}
+	_, _, _, _, _, _ = m, p, s, mm, q, local
+	_, _ = name, fns
+	return out
+}
+
+//selfmaint:hotpath
+func clean(in []int, out []int, scratch *[]int) []int {
+	for _, v := range in {
+		out = append(out, v) // appending to a parameter: the reuse pattern
+	}
+	total := 0
+	for i := 0; i < len(in); i++ {
+		total += in[i]
+	}
+	value := item{id: total} // value composite, not addressed: stack
+	_ = value
+	return out
+}
+
+//selfmaint:hotpath
+func allowed() *item {
+	//lint:allow hotpathalloc free-list refill, amortized across the run
+	return &item{id: 1}
+}
+
+// notAnnotated allocates freely: only //selfmaint:hotpath functions are
+// checked.
+func notAnnotated() []int {
+	out := make([]int, 8)
+	for i := range out {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Package lint registers the selfmaintlint analyzer suite: the five
+// machine-enforced determinism and hot-path invariants behind the repo's
+// byte-identical fixed-seed guarantee. cmd/selfmaintlint runs them as a CI
+// gate; DESIGN.md ("Determinism invariants") documents each rule and how to
+// add the next one.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/busreentry"
+	"repro/internal/lint/globalrand"
+	"repro/internal/lint/hotpathalloc"
+	"repro/internal/lint/mapiter"
+	"repro/internal/lint/wallclock"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		wallclock.Analyzer,
+		globalrand.Analyzer,
+		mapiter.Analyzer,
+		busreentry.Analyzer,
+		hotpathalloc.Analyzer,
+	}
+}
+
+// Names returns the set of analyzer names, for //lint:allow validation.
+func Names() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range Analyzers() {
+		names[a.Name] = true
+	}
+	return names
+}

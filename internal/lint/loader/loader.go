@@ -1,0 +1,276 @@
+// Package loader type-checks Go packages for the selfmaintlint analyzers
+// without golang.org/x/tools/go/packages (the build is hermetic). It drives
+// `go list -deps -export -json` to discover package file sets and compiled
+// export data, parses the target packages from source with comments, and
+// type-checks them with the standard library's gc export-data importer.
+//
+// Analyzer testdata trees (GOPATH-style testdata/src/<importpath>/ layouts,
+// which `go list` cannot see) are supported through SrcRoots: import paths
+// that resolve under a source root are parsed and type-checked recursively
+// from source, shadowing real packages of the same path, while their
+// standard-library imports fall back to export data resolved on demand.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// SrcRoot maps an import-path namespace onto a directory tree: the import
+// path "det/foo" under root {Dir: "testdata/src"} loads from
+// testdata/src/det/foo. An empty Prefix matches every path that exists
+// under Dir, which is the analysistest layout.
+type SrcRoot struct {
+	Prefix string
+	Dir    string
+}
+
+// Config controls a load.
+type Config struct {
+	// Dir is the working directory for `go list` (a directory inside the
+	// module). Empty means the current directory.
+	Dir string
+	// SrcRoots are consulted, in order, before export data.
+	SrcRoots []SrcRoot
+}
+
+// loadState carries the caches shared by every package of one Load call.
+type loadState struct {
+	cfg     Config
+	fset    *token.FileSet
+	exports map[string]string         // import path -> export data file
+	gc      types.Importer            // export-data importer
+	srcPkgs map[string]*types.Package // packages type-checked from source
+	listed  map[string]bool           // import paths already resolved via go list
+}
+
+// Load lists patterns with the go command and returns the matched packages,
+// parsed from source and fully type-checked. Test files are not included:
+// the analyzers gate simulation code, and test binaries are free to use the
+// wall clock.
+func Load(cfg Config, patterns ...string) ([]*Package, error) {
+	st, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := st.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		p, err := st.checkDir(t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadSource loads the single package at importPath via the configured
+// SrcRoots, resolving its imports recursively (source roots first, then
+// export data fetched on demand with `go list`).
+func LoadSource(cfg Config, importPath string) (*Package, error) {
+	st, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dir, ok := st.resolveSrc(importPath)
+	if !ok {
+		return nil, fmt.Errorf("loader: %q does not resolve under any source root", importPath)
+	}
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	return st.checkDir(importPath, dir, names)
+}
+
+func newState(cfg Config) (*loadState, error) {
+	st := &loadState{
+		cfg:     cfg,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		srcPkgs: make(map[string]*types.Package),
+		listed:  make(map[string]bool),
+	}
+	st.gc = importer.ForCompiler(st.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := st.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return st, nil
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` on patterns, records export
+// data for every dependency, and returns the requested (non-dep-only)
+// packages in list order.
+func (st *loadState) goList(patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = st.cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		st.listed[p.ImportPath] = true
+		if p.Export != "" {
+			st.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// checkDir parses names (relative to dir) and type-checks them as one
+// package. The returned package has complete type information; any type
+// error aborts the load, since analyzers assume well-typed input.
+func (st *loadState) checkDir(importPath, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(st.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importerFunc(st.importPath)}
+	pkg, err := conf.Check(importPath, st.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: st.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// importPath resolves one import for the type checker: source roots first,
+// then export data (listed on demand if this path has not been seen).
+func (st *loadState) importPath(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := st.srcPkgs[path]; ok {
+		return p, nil
+	}
+	if dir, ok := st.resolveSrc(path); ok {
+		names, err := goFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+		checked, err := st.checkDir(path, dir, names)
+		if err != nil {
+			return nil, err
+		}
+		st.srcPkgs[path] = checked.Types
+		return checked.Types, nil
+	}
+	if _, ok := st.exports[path]; !ok && !st.listed[path] {
+		// Unknown dependency (a testdata package importing the standard
+		// library): resolve its whole dependency cone in one go command.
+		if _, err := st.goList([]string{path}); err != nil {
+			return nil, err
+		}
+	}
+	return st.gc.Import(path)
+}
+
+// resolveSrc maps path onto a source-root directory, if any root claims it.
+func (st *loadState) resolveSrc(path string) (string, bool) {
+	for _, root := range st.cfg.SrcRoots {
+		if root.Prefix != "" && path != root.Prefix && !strings.HasPrefix(path, root.Prefix+"/") {
+			continue
+		}
+		dir := filepath.Join(root.Dir, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// goFilesIn returns the non-test Go file names in dir, sorted.
+func goFilesIn(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	return names, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,273 @@
+// Package mapiter flags ranging over a map in deterministic packages. Map
+// iteration order is randomized per process, which makes it the canonical
+// byte-identity killer: any map range whose effects can reach a run's
+// output reorders that output between runs.
+//
+// The analyzer accepts loop bodies it can prove order-insensitive:
+//
+//   - pure counting (empty body, x++/x--)
+//   - integer commutative accumulation (+=, *=, |=, &=, ^= on integer
+//     types; float accumulation is NOT accepted — float addition does not
+//     associate, so even a sum depends on visit order at the bit level)
+//   - writes into another map and delete() calls
+//   - the canonical collect-then-sort idiom, keys = append(keys, k)
+//
+// Everything else must either iterate detsort.Keys(m) (the suggested fix
+// where the rewrite is mechanical) or carry a //lint:allow mapiter
+// directive arguing why order cannot reach the output.
+package mapiter
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flag order-sensitive map iteration in deterministic packages\n\n" +
+		"Ranging over a map visits keys in randomized order; unless the body\n" +
+		"is provably order-insensitive, iterate detsort.Keys(m) instead.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !determinism.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rs) {
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: rs.Pos(),
+				End: rs.X.End(),
+				Message: fmt.Sprintf(
+					"map iteration order is randomized and this loop body is not provably order-insensitive; "+
+						"range over detsort.Keys(%s) or annotate //lint:allow mapiter <reason>", exprString(pass.Fset, rs.X)),
+			}
+			if fix, ok := keysFix(pass, rs); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// keysFix builds the detsort.Keys rewrite when it is mechanical: the range
+// binds only the key, to a plain identifier, and the key type satisfies
+// cmp.Ordered. `for k := range m` becomes `for _, k := range detsort.Keys(m)`;
+// the loop body is unchanged (m[k] lookups still work).
+func keysFix(pass *analysis.Pass, rs *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Value != nil || rs.Tok != token.DEFINE {
+		return analysis.SuggestedFix{}, false
+	}
+	mt := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ordered(mt.Key()) {
+		return analysis.SuggestedFix{}, false
+	}
+	newText := fmt.Sprintf("_, %s := range detsort.Keys(%s)", key.Name, exprString(pass.Fset, rs.X))
+	return analysis.SuggestedFix{
+		Message: `iterate sorted keys via detsort.Keys (import "repro/internal/detsort")`,
+		TextEdits: []analysis.TextEdit{{
+			Pos:     rs.Key.Pos(),
+			End:     rs.X.End(),
+			NewText: []byte(newText),
+		}},
+	}, true
+}
+
+// ordered reports whether cmp.Ordered admits t.
+func ordered(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat|types.IsString) != 0
+}
+
+// orderInsensitiveBody reports whether every statement of the range body is
+// one of the recognized commutative forms. The check is syntactic and
+// deliberately conservative: any call (other than delete), branch, or float
+// accumulation fails it.
+func orderInsensitiveBody(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	for _, stmt := range rs.Body.List {
+		if !orderInsensitiveStmt(pass, rs, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// x++ adds a constant per visit: the total is order-independent
+		// even for floats.
+		return pureExpr(pass, s.X)
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(pass, rs, s)
+	case *ast.ExprStmt:
+		// delete(m2, k) commutes across distinct keys (and is idempotent
+		// on the same key).
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if !orderInsensitiveStmt(pass, rs, inner) {
+				return false
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	default:
+		return false
+	}
+}
+
+func orderInsensitiveAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		if len(s.Lhs) != 1 || !pureExpr(pass, s.Rhs[0]) {
+			return false
+		}
+		// A per-key update of a map element (m[k] *= x) touches one key per
+		// visit with no cross-key accumulator, so any element type is safe.
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return true
+				}
+			}
+		}
+		// Accumulation into a single variable is commutative-and-associative
+		// only over integers: float + and * round differently under
+		// reassociation, string + concatenates in visit order.
+		t := pass.TypesInfo.TypeOf(s.Lhs[0])
+		if t == nil {
+			return false
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	case token.ASSIGN, token.DEFINE:
+		// keys = append(keys, k): the collect-then-sort idiom.
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 && isKeyCollect(pass, rs, s) {
+			return true
+		}
+		// m2[expr] = pure: writes to a map land keyed, not ordered.
+		if s.Tok == token.ASSIGN && allMapIndexWrites(pass, s) {
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isKeyCollect matches `dst = append(dst, k)` where k is the range key.
+func isKeyCollect(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+	dst, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || arg0.Name != dst.Name {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	return ok && arg1.Name == key.Name
+}
+
+// allMapIndexWrites reports whether every LHS is an index into a map and
+// every RHS is call-free.
+func allMapIndexWrites(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	for _, l := range s.Lhs {
+		ix, ok := l.(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(ix.X)
+		if t == nil {
+			return false
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return false
+		}
+	}
+	for _, r := range s.Rhs {
+		if !pureExpr(pass, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// pureExpr reports whether e contains no calls other than the pure
+// builtins len and cap (a call may observe or mutate accumulation state,
+// defeating the commutativity argument).
+func pureExpr(pass *analysis.Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
+				(b.Name() == "len" || b.Name() == "cap") {
+				return true // pure builtins; keep scanning their arguments
+			}
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "m"
+	}
+	return buf.String()
+}

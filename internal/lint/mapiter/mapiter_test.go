@@ -1,0 +1,36 @@
+package mapiter_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	results := analysistest.Run(t, "testdata", mapiter.Analyzer, "det/mapiter")
+
+	// The key-only range in flagged() must carry the mechanical
+	// detsort.Keys rewrite; the key+value ranges must not (the body also
+	// needs edits there, so the fix would be wrong).
+	var withFix, withoutFix int
+	for _, d := range results[0].Diagnostics {
+		if len(d.SuggestedFixes) == 0 {
+			withoutFix++
+			continue
+		}
+		withFix++
+		edit := string(d.SuggestedFixes[0].TextEdits[0].NewText)
+		if !strings.Contains(edit, "range detsort.Keys(m)") {
+			t.Errorf("suggested fix rewrites to %q, want a detsort.Keys range", edit)
+		}
+	}
+	if withFix != 2 || withoutFix != 2 {
+		t.Errorf("got %d fixes and %d fixless findings, want 2 and 2", withFix, withoutFix)
+	}
+}
+
+func TestHarnessPackagesNotChecked(t *testing.T) {
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "harness/mapiter")
+}

@@ -1,0 +1,69 @@
+package mapiter
+
+func flagged(m map[string]float64, out *[]string) {
+	for k := range m { // want `map iteration order is randomized`
+		*out = append(*out, k)
+	}
+	var sum float64
+	for _, v := range m { // want `map iteration order is randomized`
+		sum += v // float accumulation reassociates: order-sensitive at the bit level
+	}
+	for k, v := range m { // want `map iteration order is randomized`
+		process(k, v) // calls may do anything: assume order-sensitive
+	}
+	best := ""
+	for k := range m { // want `map iteration order is randomized`
+		if k > best { // ties aside, branching defeats the commutativity proof
+			best = k
+		}
+	}
+}
+
+func process(k string, v float64) {}
+
+func counting(m map[string]int) (n int, total int) {
+	for range m {
+		n++
+	}
+	for _, v := range m {
+		total += v // integer += commutes exactly
+	}
+	return n, total
+}
+
+func collectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // canonical collect-then-sort idiom
+	}
+	return keys
+}
+
+func mapToMap(src map[int]int, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v * 2 // keyed writes land the same regardless of order
+	}
+	for k := range src {
+		delete(dst, k)
+	}
+}
+
+func perKeyUpdate(rates map[string]float64, scale float64) {
+	for c := range rates {
+		rates[c] *= scale // one key per visit, no cross-key accumulator
+	}
+}
+
+func lenIsPure(work map[int][]string) (n int) {
+	for _, w := range work {
+		n += len(w) // len/cap are pure builtins: integer accumulation stands
+	}
+	return n
+}
+
+func allowed(m map[string]int, sink func(string)) {
+	//lint:allow mapiter sink is an unordered set insertion
+	for k := range m {
+		sink(k)
+	}
+}

@@ -1,0 +1,12 @@
+// Package mapiter lives outside det/: harness code may iterate maps in any
+// order (its output is not under the byte-identity contract), so nothing
+// here is flagged.
+package mapiter
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

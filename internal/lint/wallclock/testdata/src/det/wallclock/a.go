@@ -1,0 +1,32 @@
+// Package wallclock is deterministic (it lives under det/), so every host
+// clock read below must be flagged unless an allow directive covers it.
+package wallclock
+
+import "time"
+
+type engine struct{ now int64 }
+
+func (e *engine) Now() int64 { return e.now }
+
+func bad() {
+	_ = time.Now()                  // want `time\.Now must not read the wall clock`
+	t0 := time.Now()                // want `time\.Now must not read the wall clock`
+	_ = time.Since(t0)              // want `time\.Since must not read the wall clock`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep must not block on host time`
+	_ = time.After(time.Second)     // want `time\.After must not block on host time`
+	_ = time.NewTicker(time.Second) // want `time\.NewTicker must not start a host-time ticker`
+	f := time.Now                   // want `time\.Now must not read the wall clock`
+	_ = f
+}
+
+func good(e *engine) {
+	_ = e.Now()                        // virtual clock: fine
+	_ = time.Duration(3) * time.Second // pure value arithmetic: fine
+	_ = time.Unix(0, e.Now())          // construction from virtual time: fine
+}
+
+func allowed() {
+	//lint:allow wallclock harness wall-timing for the bench artifact
+	t0 := time.Now()
+	_ = time.Since(t0) //lint:allow wallclock harness wall-timing for the bench artifact
+}

@@ -1,0 +1,11 @@
+// Package wallclock lives outside the det/ namespace, so it models harness
+// code: wall-clock reads are legal and nothing here is flagged.
+package wallclock
+
+import "time"
+
+func harness() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

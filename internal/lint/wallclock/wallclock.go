@@ -1,0 +1,66 @@
+// Package wallclock forbids reading the host's wall clock from
+// deterministic packages. A single time.Now in simulation code makes runs
+// diverge between machines and between repetitions, which silently breaks
+// the byte-identical fixed-seed guarantee every golden test relies on;
+// virtual time must come from sim.Engine instead. Harness instrumentation
+// that genuinely measures host wall time (the experiment bench timings)
+// carries a //lint:allow wallclock directive with its reason.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+)
+
+// forbidden lists the package-level names of the time package that observe
+// or depend on the host clock. Pure-value helpers (time.Duration
+// arithmetic, time.Unix construction, parsing) stay legal.
+var forbidden = map[string]string{
+	"Now":       "read the wall clock",
+	"Since":     "read the wall clock",
+	"Until":     "read the wall clock",
+	"Sleep":     "block on host time",
+	"After":     "block on host time",
+	"Tick":      "tick on host time",
+	"NewTimer":  "start a host-time timer",
+	"NewTicker": "start a host-time ticker",
+	"AfterFunc": "start a host-time timer",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid wall-clock time in deterministic packages\n\n" +
+		"Simulation code must derive time from sim.Engine's virtual clock; " +
+		"time.Now and friends make fixed-seed runs irreproducible.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !determinism.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			what, bad := forbidden[fn.Name()]
+			if !bad {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s must not %s in deterministic package %s; use the sim.Engine virtual clock",
+				fn.Name(), what, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil, nil
+}

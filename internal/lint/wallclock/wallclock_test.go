@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "det/wallclock", "harness/wallclock")
+}

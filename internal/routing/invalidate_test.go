@@ -199,3 +199,40 @@ func TestEvaluateSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("EvaluateInto allocated %.1f/op in steady state", allocs)
 	}
 }
+
+// Each //selfmaint:hotpath function inside the router holds at zero
+// steady-state allocations individually, not just through EvaluateInto:
+// warm-cache path lookup, distance-field recycling, and path-slice
+// recycling all serve from retained buffers.
+func TestHotpathFunctionsSteadyStateZeroAlloc(t *testing.T) {
+	n := leafSpine(t, 4, 2, 4, 1)
+	r := NewRouter(n, nil)
+	tm := UniformMatrix(n, 300)
+	var ws Workspace
+	r.EvaluateInto(&ws, tm) // warm caches, deps indexes and free lists
+	d0 := tm.Demands[0]
+
+	// paths + distEntryFor on the warm cache.
+	if allocs := testing.AllocsPerRun(100, func() { r.paths(d0.Src, d0.Dst) }); allocs != 0 {
+		t.Fatalf("warm paths() allocated %.1f/op", allocs)
+	}
+
+	// distEntryFor recomputing an evicted field must serve from the
+	// distance free list and the retained BFS queue.
+	if allocs := testing.AllocsPerRun(100, func() {
+		e := r.distCache[d0.Dst]
+		r.evictDist(d0.Dst, e)
+		r.distEntryFor(d0.Dst)
+	}); allocs != 0 {
+		t.Fatalf("evict+recompute distEntryFor allocated %.1f/op", allocs)
+	}
+
+	// newPath must serve from the path free list once one is warm.
+	r.freePaths = append(r.freePaths, make(topology.Path, 8))
+	if allocs := testing.AllocsPerRun(100, func() {
+		p := r.newPath(4)
+		r.freePaths = append(r.freePaths, p)
+	}); allocs != 0 {
+		t.Fatalf("recycled newPath allocated %.1f/op", allocs)
+	}
+}

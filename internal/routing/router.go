@@ -209,6 +209,7 @@ func (r *Router) InvalidateLink(id topology.LinkID) {
 // evicted exactly, via the link→pairs index.
 func (r *Router) linkDown(id topology.LinkID) {
 	deps := r.linkDeps[id]
+	//lint:allow mapiter per-destination re-verification; cache updates are keyed and buffer recycling order is unobservable
 	for dst, stamp := range deps {
 		e, ok := r.distCache[dst]
 		if !ok || e.stamp != stamp {
@@ -245,6 +246,7 @@ func (r *Router) linkDown(id topology.LinkID) {
 // new edge — src reaches one endpoint, the hop descends toward dst, and the
 // combined length matches the cached src→dst distance.
 func (r *Router) linkUp(id topology.LinkID, a, b topology.DeviceID) {
+	//lint:allow mapiter keyed evictions and dep registrations; free-list order is unobservable
 	for dst, e := range r.distCache {
 		da, db := e.dist[a], e.dist[b]
 		if da == db {
@@ -264,6 +266,7 @@ func (r *Router) linkUp(id topology.LinkID, a, b topology.DeviceID) {
 		}
 		deps[dst] = e.stamp
 	}
+	//lint:allow mapiter keyed pair evictions; free-list order is unobservable
 	for key, pe := range r.cache {
 		dst := key[1]
 		de, ok := r.distCache[dst]
@@ -323,10 +326,12 @@ func intsEqual(a, b []int) bool {
 // InvalidateLink instead.
 func (r *Router) Invalidate() {
 	r.cacheEpoch++
+	//lint:allow mapiter full flush; free-list recycling order is unobservable (buffers are overwritten before reuse)
 	for _, pe := range r.cache {
 		r.freePaths = append(r.freePaths, pe.paths...)
 	}
 	clear(r.cache)
+	//lint:allow mapiter full flush; free-list recycling order is unobservable (buffers are overwritten before reuse)
 	for _, e := range r.distCache {
 		r.freeDists = append(r.freeDists, e.dist)
 	}
@@ -345,6 +350,8 @@ func (r *Router) Invalidate() {
 // distEntryFor returns the cached BFS distance field toward dst, computing
 // and indexing it if absent. Caching per destination is what makes
 // evaluating thousands of demands cheap: one BFS serves every source.
+//
+//selfmaint:hotpath
 func (r *Router) distEntryFor(dst topology.DeviceID) distEntry {
 	if e, ok := r.distCache[dst]; ok {
 		return e
@@ -355,6 +362,7 @@ func (r *Router) distEntryFor(dst topology.DeviceID) distEntry {
 		r.freeDists[n-1] = nil
 		r.freeDists = r.freeDists[:n-1]
 	} else {
+		//lint:allow hotpathalloc free-list miss; the field is cached and recycled, steady state reuses buffers
 		d = make([]int, len(r.net.Devices))
 	}
 	r.queue = r.net.HopDistancesInto(dst, r.usableFn, d, r.queue)
@@ -381,6 +389,8 @@ func (r *Router) recordDeps(dst topology.DeviceID, d []int, stamp uint64) {
 // paths returns cached equal-cost shortest paths for a pair, enumerated
 // over the ECMP DAG induced by the cached distance field. A cached set is
 // served only while its stamp matches the field it was built over.
+//
+//selfmaint:hotpath
 func (r *Router) paths(src, dst topology.DeviceID) []topology.Path {
 	if src == dst {
 		return nil
@@ -412,6 +422,7 @@ func (r *Router) paths(src, dst topology.DeviceID) []topology.Path {
 					continue
 				}
 				if pd := dist[np.Peer.ID]; pd >= 0 && pd == dist[d]-1 {
+					//lint:allow hotpathalloc cache-miss enumeration only; cur grows to max path depth once, then reuses capacity
 					cur = append(cur, np.Link)
 					walk(np.Peer.ID)
 					cur = cur[:len(cur)-1]
@@ -431,6 +442,7 @@ func (r *Router) paths(src, dst topology.DeviceID) []topology.Path {
 		for _, l := range p {
 			if r.linkMark[l.ID] != r.pairSeq {
 				r.linkMark[l.ID] = r.pairSeq
+				//lint:allow hotpathalloc cache-miss index registration; per-link lists retain capacity across resets
 				r.linkPairs[l.ID] = append(r.linkPairs[l.ID], pairRef{key: key, seq: r.pairSeq})
 			}
 		}
@@ -440,6 +452,8 @@ func (r *Router) paths(src, dst topology.DeviceID) []topology.Path {
 
 // newPath returns a path slice of length n, recycled from evicted entries
 // when one with enough capacity is available.
+//
+//selfmaint:hotpath
 func (r *Router) newPath(n int) topology.Path {
 	for len(r.freePaths) > 0 {
 		last := len(r.freePaths) - 1
@@ -450,6 +464,7 @@ func (r *Router) newPath(n int) topology.Path {
 			return p[:n]
 		}
 	}
+	//lint:allow hotpathalloc free-list miss; evicted path slices are recycled, steady state reuses buffers
 	return make(topology.Path, n)
 }
 
@@ -527,12 +542,15 @@ func (r *Router) Evaluate(tm TrafficMatrix) Assessment {
 // Assessment's PerDemand and LinkLoad alias ws buffers and are valid until
 // the workspace's next evaluation. With warm caches it performs zero heap
 // allocations.
+//
+//selfmaint:hotpath
 func (r *Router) EvaluateInto(ws *Workspace, tm TrafficMatrix) Assessment {
 	nd, nl := len(tm.Demands), len(r.net.Links)
 	ws.perDemand = growFloats(ws.perDemand, nd)
 	ws.linkLoad = growFloats(ws.linkLoad, nl)
 	ws.over = growFloats(ws.over, nl)
 	if cap(ws.routes) < nd {
+		//lint:allow hotpathalloc workspace growth on first use; the buffer is retained, steady state allocates nothing
 		ws.routes = make([]routed, nd)
 	} else {
 		ws.routes = ws.routes[:nd]

@@ -2,9 +2,9 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
+	"repro/internal/detsort"
 	"repro/internal/metrics"
 	"repro/internal/robot"
 	"repro/internal/sim"
@@ -127,12 +127,7 @@ func A2MobilityScope(r *Runner, p RepairParams) (*metrics.Table, error) {
 					for _, d := range w.Net.Devices {
 						rowSet[d.Loc.Row] = true
 					}
-					rows := make([]int, 0, len(rowSet))
-					for row := range rowSet {
-						rows = append(rows, row)
-					}
-					sort.Ints(rows)
-					for _, row := range rows {
+					for _, row := range detsort.Keys(rowSet) {
 						w.Fleet.AddUnit(fmt.Sprintf("u-%s-%d", dep.name, row), dep.scope,
 							topology.Location{Row: row, Rack: 0})
 						c.units++

@@ -133,8 +133,11 @@ func (e *Engine) recycle(ev *event) {
 // Schedule queues fn to run at instant at. Scheduling in the past (before
 // Now) panics: it is always a model bug, and silently reordering time would
 // corrupt every downstream statistic. name is used only for diagnostics.
+//
+//selfmaint:hotpath
 func (e *Engine) Schedule(at Time, name string, fn func()) Handle {
 	if at < e.now {
+		//lint:allow hotpathalloc panic path only; a past-scheduling bug aborts the run, formatting cost is irrelevant
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, at, e.now))
 	}
 	var ev *event
@@ -143,6 +146,7 @@ func (e *Engine) Schedule(at Time, name string, fn func()) Handle {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
+		//lint:allow hotpathalloc free-list miss; amortized away once the pool warms up (steady state reuses structs)
 		ev = &event{}
 	}
 	*ev = event{at: at, seq: e.seq, name: name, fn: fn, engine: e}
@@ -189,6 +193,8 @@ func (e *Engine) Every(start Time, interval Time, name string, fn func(Time)) *T
 
 // Step fires the single earliest pending event, advancing the clock to its
 // instant. It reports whether an event was fired.
+//
+//selfmaint:hotpath
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false

@@ -323,6 +323,27 @@ func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// Step alone — the //selfmaint:hotpath event pump — must not allocate when
+// draining a pre-built queue: popping, recycling and firing reuse pooled
+// event structs.
+func TestStepSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i)*Millisecond, "warm", fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		e.After(Millisecond, "one", fn)
+		if !e.Step() {
+			t.Fatal("no event to step")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocated %.1f/op in steady state", allocs)
+	}
+}
+
 func TestTimeFormatting(t *testing.T) {
 	cases := []struct {
 		t    Time

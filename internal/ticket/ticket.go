@@ -267,6 +267,7 @@ func (s *Store) OpenFor(id topology.LinkID) *Ticket { return s.open[id] }
 // OpenQueue returns open+assigned tickets ordered by (priority, age).
 func (s *Store) OpenQueue() []*Ticket {
 	var q []*Ticket
+	//lint:allow mapiter collected tickets get a total (priority, age, id) sort below; iteration order cannot survive it
 	for _, t := range s.open {
 		if t.Status == Open {
 			q = append(q, t)

@@ -187,6 +187,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	err := s.ln.Close()
+	//lint:allow mapiter connection teardown; close order is unobservable (wire is transport, not simulation output)
 	for c := range s.conns {
 		c.Close()
 	}
