@@ -101,6 +101,9 @@ func (s *server) status(w http.ResponseWriter, r *http.Request) {
 		"cascades":          rep.CascadesDuringOps,
 		"proactive_tasks":   rep.ProactiveTasks,
 		"predictive_tasks":  rep.PredictiveTasks,
+		"watchdog_fires":    rep.WatchdogFires,
+		"late_outcomes":     rep.LateOutcomes,
+		"degraded_tickets":  rep.DegradedTickets,
 	})
 }
 

@@ -16,6 +16,8 @@ import (
 //	triage.ticket   Triage/Act → Act, Plan     payload TicketEvent
 //	act.dispatch    Act → observers            payload Dispatch
 //	act.outcome     Act → observers            payload WorkOutcome
+//	act.watchdog    Act → observers            payload WatchdogFired
+//	act.degraded    Act → observers            payload Degraded
 //	journal.decision controller → journal tap  payload core.JournalEntry
 const (
 	TopicAlert    Topic = "sense.alert"
@@ -23,6 +25,8 @@ const (
 	TopicTicket   Topic = "triage.ticket"
 	TopicDispatch Topic = "act.dispatch"
 	TopicOutcome  Topic = "act.outcome"
+	TopicWatchdog Topic = "act.watchdog"
+	TopicDegraded Topic = "act.degraded"
 	TopicDecision Topic = "journal.decision"
 )
 
@@ -160,6 +164,51 @@ type WorkOutcome struct {
 	Completed bool
 	Fixed     bool
 	Note      string
+}
+
+// WatchdogFired is an Act-stage event: a dispatched attempt blew its
+// watchdog deadline — the actuator stalled, is running far past its nominal
+// duration, or finished but its report was lost. The dispatcher has already
+// released the attempt's drains and claims and force-failed it; Backoff is
+// the deterministic delay before the retry becomes eligible.
+type WatchdogFired struct {
+	Ticket int
+	Link   *topology.Link
+	Actor  string
+	Robot  bool
+	Action faults.Action
+	// Deadline is the expired watchdog budget (nominal duration × factor).
+	Deadline sim.Time
+	// Attempt is the attempt index the ticket is on after the force-fail.
+	Attempt int
+	Backoff sim.Time
+}
+
+// String renders the watchdog event for logs.
+func (w WatchdogFired) String() string {
+	lane := "human"
+	if w.Robot {
+		lane = "robot"
+	}
+	return fmt.Sprintf("T%d %s %s %v by %s: watchdog after %v (attempt %d, backoff %v)",
+		w.Ticket, w.Link.Name(), lane, w.Action, w.Actor, w.Deadline, w.Attempt, w.Backoff)
+}
+
+// Degraded is an Act-stage event: repeated actuator failures exhausted the
+// robotic lane's retry budget and the ticket is escalated to humans — the
+// maintenance plane degrading gracefully around its own broken actuators.
+type Degraded struct {
+	Ticket int
+	Link   *topology.Link
+	// RobotFailures counts the robot-lane watchdog failures that triggered
+	// the escalation.
+	RobotFailures int
+}
+
+// String renders the degradation event for logs.
+func (d Degraded) String() string {
+	return fmt.Sprintf("T%d %s degraded to human after %d robot watchdog failure(s)",
+		d.Ticket, d.Link.Name(), d.RobotFailures)
 }
 
 // String renders the outcome for logs.

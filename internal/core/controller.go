@@ -109,6 +109,24 @@ type Config struct {
 	// MaxAttempts caps physical attempts per ticket before the ticket is
 	// parked as chronic and retried on a slow cadence.
 	MaxAttempts int
+
+	// WatchdogFactor multiplies an executor's nominal duration estimate
+	// (exec.DurationEstimator) to form each attempt's watchdog deadline. The
+	// factor must leave headroom over every natural sampling tail: a watchdog
+	// that fires on healthy actuators would perturb chaos-free runs. <= 0
+	// disables watchdogs entirely.
+	WatchdogFactor float64
+	// WatchdogFloor is the minimum watchdog deadline, covering executors
+	// without a duration estimate.
+	WatchdogFloor sim.Time
+	// RetryBackoff is the base delay before retrying a watchdog-failed
+	// attempt; it doubles per recorded attempt (attempt-indexed, so replays
+	// are deterministic) up to RetryBackoffCap.
+	RetryBackoff    sim.Time
+	RetryBackoffCap sim.Time
+	// RobotFailLimit force-escalates a ticket to the human lane after this
+	// many robot-lane watchdog failures; <= 0 never escalates.
+	RobotFailLimit int
 }
 
 // DefaultConfig returns the configuration for a given automation level,
@@ -131,6 +149,11 @@ func DefaultConfig(level Level) Config {
 		RetryDelay:        30 * sim.Minute,
 		StockoutRetry:     4 * sim.Hour,
 		MaxAttempts:       10,
+		WatchdogFactor:    8,
+		WatchdogFloor:     2 * sim.Hour,
+		RetryBackoff:      15 * sim.Minute,
+		RetryBackoffCap:   6 * sim.Hour,
+		RobotFailLimit:    3,
 	}
 }
 
@@ -150,6 +173,9 @@ type Stats struct {
 	PredictiveTasks    int
 	ChronicTickets     int
 	SafetyHolds        int
+	WatchdogFires      int
+	LateOutcomes       int
+	DegradedTickets    int
 }
 
 // Deps are the services a controller is wired with. Alerts are not listed:

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bus"
 	"repro/internal/diagnosis"
+	"repro/internal/exec"
 	"repro/internal/faults"
 	"repro/internal/inventory"
 	"repro/internal/robot"
@@ -41,6 +42,11 @@ type harnessOpt struct {
 	mutCfg         func(*Config)
 	mutRobots      func(*robot.Config)
 	seed           uint64
+	// wrapRobots/wrapHumans interpose on the executor backends — watchdog
+	// tests use them to script actuator faults or strip capability
+	// interfaces.
+	wrapRobots func(exec.Executor) exec.Executor
+	wrapHumans func(exec.Executor) exec.Executor
 }
 
 func newHarness(t *testing.T, o harnessOpt) *harness {
@@ -92,11 +98,19 @@ func newHarness(t *testing.T, o harnessOpt) *harness {
 	if o.mutCfg != nil {
 		o.mutCfg(&cfg)
 	}
+	var robots exec.Executor = robot.NewExecutor(fleet)
+	if o.wrapRobots != nil {
+		robots = o.wrapRobots(robots)
+	}
+	var humans exec.Executor = workforce.NewExecutor(crew)
+	if o.wrapHumans != nil {
+		humans = o.wrapHumans(humans)
+	}
 	ctrl := New(Deps{
 		Eng: eng, Net: n, Inj: inj, Diag: diag, Store: store, Router: router,
 		Bus:    b,
-		Robots: robot.NewExecutor(fleet),
-		Humans: workforce.NewExecutor(crew),
+		Robots: robots,
+		Humans: humans,
 		Features: func(id topology.LinkID) []float64 {
 			return mon.Snapshot(id).Vector()
 		},

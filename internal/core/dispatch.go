@@ -29,9 +29,19 @@ type Act struct {
 	opSrc   exec.OperatorSource
 
 	work map[int]*workItem // by ticket ID
+
+	// parkTimer backstops notBefore-parked items: dispatch arms it for the
+	// earliest un-park instant so a parked item whose own retry event died
+	// with a stale closure cannot strand work. parkTimerAt is the armed
+	// instant, consulted to avoid re-arming per pass.
+	parkTimer   sim.Handle
+	parkTimerAt sim.Time
 }
 
-// workItem tracks in-flight dispatch state for a ticket.
+// workItem tracks in-flight dispatch state for a ticket. Items are deleted
+// from Act.work on every terminal transition — settle() on resolution,
+// onTicketEvent on cancellation — so dispatch passes and heldDrains never
+// iterate dead entries (workmap_test.go holds the invariant).
 type workItem struct {
 	t          *ticket.Ticket
 	stage      int
@@ -40,10 +50,23 @@ type workItem struct {
 	active     bool
 	drained    []topology.LinkID
 	chronic    bool
-	// notBefore parks the item (stockout backoff, chronic cadence): global
-	// dispatch passes skip it until the instant passes; its own retry event
-	// re-kicks it.
+	// notBefore parks the item (stockout backoff, chronic cadence, watchdog
+	// backoff): global dispatch passes skip it until the instant passes; its
+	// own retry event re-kicks it, with the dispatch pass's park backstop as
+	// the safety net.
 	notBefore sim.Time
+
+	// attemptSeq identifies the current physical attempt. The watchdog and
+	// the executor's done callback each capture the launch-time value and
+	// check it before acting, so whichever loses the race is inert: a late
+	// outcome cannot double-release drains or operators the watchdog already
+	// released.
+	attemptSeq int
+	// watchdog is the force-fail timer armed over the active attempt.
+	watchdog sim.Handle
+	// robotFails counts robot-lane watchdog failures toward the forceHuman
+	// degradation threshold.
+	robotFails int
 }
 
 func newAct(c *Controller) *Act {
@@ -110,16 +133,21 @@ func (a *Act) kickDispatch() {
 func (a *Act) dispatch() {
 	now := a.c.d.Eng.Now()
 	items := make([]*workItem, 0, len(a.work))
+	earliestPark := sim.Forever
 	//lint:allow mapiter collected items get a total (priority, age, id) sort below; iteration order cannot survive it
 	for _, w := range a.work {
 		if w.active || w.t.Status == ticket.Resolved || w.t.Status == ticket.Cancelled {
 			continue
 		}
 		if now < w.notBefore {
+			if w.notBefore < earliestPark {
+				earliestPark = w.notBefore
+			}
 			continue
 		}
 		items = append(items, w)
 	}
+	a.armParkBackstop(earliestPark)
 	sort.Slice(items, func(i, j int) bool {
 		x, y := items[i].t, items[j].t
 		if x.Priority != y.Priority {
@@ -144,6 +172,26 @@ func (a *Act) dispatch() {
 	}
 }
 
+// armParkBackstop schedules a dispatch pass at the earliest notBefore among
+// parked items. Parked items normally re-kick via their own retry events;
+// the backstop guarantees progress even if such an event goes dead (its
+// closure finds the item active or the ticket terminal and declines). An
+// extra pass is a no-op — items are either active, still parked, or get an
+// idempotent tryStart — so the backstop cannot perturb behaviour, only
+// bound starvation. A pass with nothing parked leaves any armed backstop
+// in place: stale firings are harmless for the same reason.
+func (a *Act) armParkBackstop(at sim.Time) {
+	if at == sim.Forever {
+		return
+	}
+	if a.parkTimer.Pending() && a.parkTimerAt <= at {
+		return
+	}
+	a.parkTimer.Cancel()
+	a.parkTimerAt = at
+	a.parkTimer = a.c.d.Eng.Schedule(at, "park-backstop", a.dispatch)
+}
+
 // utilization reads the configured utilization source.
 func (a *Act) utilization() float64 {
 	if a.c.cfg.UtilFn == nil {
@@ -165,7 +213,14 @@ func (a *Act) tryStart(w *workItem) {
 	w.stage = d.Stage
 	task := exec.Task{Link: t.Link, End: d.End, Action: d.Action}
 
-	useRobot := a.robotEligible(d.Action)
+	// The robot lane is ruled out up front — escalation (forceHuman) and a
+	// Level-1 deployment with no operator source both disqualify it — so a
+	// claimed unit is never discarded on a path that cannot use it, and an
+	// L1 ticket that could never be operated falls through to direct human
+	// dispatch instead of returning with no retry event armed (the old
+	// permanent wedge).
+	useRobot := a.robotEligible(d.Action) && !w.forceHuman &&
+		!(c.cfg.Level == L1 && a.opSrc == nil)
 	var unit exec.Actor
 	if useRobot {
 		loc := task.Port().Device.Loc
@@ -184,16 +239,10 @@ func (a *Act) tryStart(w *workItem) {
 			useRobot = false // out of reach or all busy: fall through to humans
 		}
 	}
-	if w.forceHuman {
-		useRobot = false
-	}
 
 	switch {
 	case useRobot && c.cfg.Level == L1:
 		// Operator assistance: a technician must run the device.
-		if a.opSrc == nil {
-			return
-		}
 		op, ok := a.opSrc.ClaimOperator()
 		if !ok {
 			return // retried when a task completes
@@ -290,7 +339,15 @@ func (a *Act) runRobot(w *workItem, unit exec.Actor, task exec.Task, op exec.Ope
 			Ticket: w.t.ID, Link: task.Link, Actor: unit.Name(), Robot: true,
 			Action: task.Action, End: task.End,
 		})
+		w.attemptSeq++
+		seq := w.attemptSeq
+		a.armWatchdog(w, unit, task, a.robots, true, op, seq)
 		a.robots.Execute(unit, task, func(out exec.Outcome) {
+			if w.attemptSeq != seq {
+				a.onLateOutcome(w, out, true)
+				return
+			}
+			w.watchdog.Cancel()
 			if op != nil {
 				op.Release()
 			}
@@ -327,7 +384,15 @@ func (a *Act) runHuman(w *workItem, tech exec.Actor, task exec.Task) {
 			Ticket: w.t.ID, Link: task.Link, Actor: tech.Name(), Robot: false,
 			Action: task.Action, End: task.End,
 		})
+		w.attemptSeq++
+		seq := w.attemptSeq
+		a.armWatchdog(w, tech, task, a.humans, false, nil, seq)
 		a.humans.Execute(tech, task, func(out exec.Outcome) {
+			if w.attemptSeq != seq {
+				a.onLateOutcome(w, out, false)
+				return
+			}
+			w.watchdog.Cancel()
 			a.undrain(w)
 			a.onHumanOutcome(w, out)
 		})

@@ -25,6 +25,9 @@ const (
 	EvChronic
 	EvProactiveCampaign
 	EvPredictiveTicket
+	EvWatchdog
+	EvDegraded
+	EvLateOutcome
 )
 
 var eventKindNames = [...]string{
@@ -41,6 +44,9 @@ var eventKindNames = [...]string{
 	EvChronic:           "chronic",
 	EvProactiveCampaign: "proactive-campaign",
 	EvPredictiveTicket:  "predictive-ticket",
+	EvWatchdog:          "watchdog-fired",
+	EvDegraded:          "degraded-to-human",
+	EvLateOutcome:       "late-outcome",
 }
 
 // String returns the kind name.

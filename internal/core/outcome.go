@@ -68,7 +68,11 @@ func (a *Act) onHumanOutcome(w *workItem, out exec.Outcome) {
 	})
 	w.active = false
 	w.attempts++
-	w.forceHuman = false // the human attempt happened; robots may retry next
+	// The human attempt happened; robots may retry next — unless repeated
+	// robot watchdog failures degraded the ticket to the human lane for good.
+	if c.cfg.RobotFailLimit <= 0 || w.robotFails < c.cfg.RobotFailLimit {
+		w.forceHuman = false
+	}
 	a.publishOutcome(w, out, false)
 	// The technician just freed can serve other queued tickets.
 	defer a.kickDispatch()

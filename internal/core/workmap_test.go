@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/ticket"
+)
+
+// The Act stage's work map must drop items on every terminal ticket
+// transition — settle() on resolution, onTicketEvent on cancellation —
+// otherwise dispatch passes and heldDrains iterate dead entries forever
+// (the invariant the workItem doc comment points here for).
+
+func TestWorkMapDroppedOnResolution(t *testing.T) {
+	h := newHarness(t, harnessOpt{level: L3, techs: 1, robots: true,
+		mutFaults: func(fc *faults.Config) {
+			fc.FixProb[faults.Reseat][faults.Oxidation] = 1
+			fc.DownManifest[faults.Oxidation] = 1
+			fc.TouchTransientProb = 0
+		}})
+	l := h.sepLink(t)
+	h.eng.Schedule(sim.Hour, "break", func() { h.inj.InduceFault(l, faults.Oxidation) })
+	h.eng.RunUntil(6 * sim.Hour)
+
+	sum := h.store.Summarize()
+	if sum.Resolved != 1 {
+		t.Fatalf("resolved = %d", sum.Resolved)
+	}
+	if n := len(h.ctrl.act.work); n != 0 {
+		t.Fatalf("work map retains %d item(s) after resolution", n)
+	}
+}
+
+func TestWorkMapDroppedOnCancellation(t *testing.T) {
+	// No technicians and no robots: the ticket opens but never starts, so
+	// the recovery alert cancels it rather than racing in-flight work.
+	h := newHarness(t, harnessOpt{level: L0, techs: 0,
+		mutFaults: func(fc *faults.Config) {
+			fc.DownManifest[faults.Oxidation] = 1
+			fc.TouchTransientProb = 0
+		}})
+	l := h.sepLink(t)
+	h.eng.Schedule(sim.Hour, "break", func() { h.inj.InduceFault(l, faults.Oxidation) })
+	h.eng.RunUntil(3 * sim.Hour)
+
+	tk := h.store.All()
+	if len(tk) != 1 || tk[0].Status == ticket.Resolved {
+		t.Fatalf("setup: %d tickets", len(tk))
+	}
+	if n := len(h.ctrl.act.work); n != 1 {
+		t.Fatalf("work map holds %d item(s) for the open ticket", n)
+	}
+
+	// The fault clears out of band (fiber re-routed upstream, say): the
+	// recovery alert must cancel the ticket and drop its work item.
+	h.inj.ClearFault(l)
+	h.eng.RunUntil(4 * sim.Hour)
+
+	sum := h.store.Summarize()
+	if sum.Cancelled != 1 {
+		t.Fatalf("cancelled = %d after out-of-band recovery", sum.Cancelled)
+	}
+	if n := len(h.ctrl.act.work); n != 0 {
+		t.Fatalf("work map retains %d item(s) after cancellation", n)
+	}
+}

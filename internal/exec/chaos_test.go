@@ -1,0 +1,154 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+type fakeActor struct{}
+
+func (fakeActor) Name() string    { return "fake-unit" }
+func (fakeActor) Available() bool { return true }
+
+// fakeExec completes every task after a fixed duration.
+type fakeExec struct {
+	eng   *sim.Engine
+	dur   sim.Time
+	calls int
+}
+
+func (f *fakeExec) CanPerform(faults.Action) bool { return true }
+func (f *fakeExec) Claim(topology.Location) Actor { return fakeActor{} }
+func (f *fakeExec) Execute(a Actor, t Task, done func(Outcome)) {
+	f.calls++
+	start := f.eng.Now()
+	f.eng.After(f.dur, "fake-work", func() {
+		done(Outcome{Actor: a.Name(), Task: t, Started: start, Finished: f.eng.Now(),
+			Completed: true, Fixed: true})
+	})
+}
+
+// TestWithChaosInactiveReturnsInner pins the chaos-off contract: a disabled
+// layer must be byte-for-byte absent, which starts with the wrapper never
+// being interposed at all.
+func TestWithChaosInactiveReturnsInner(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inner := &fakeExec{eng: eng, dur: sim.Minute}
+	if got := WithChaos(inner, eng, faults.ExecChaos{}); got != Executor(inner) {
+		t.Fatal("zero-value chaos config interposed a wrapper")
+	}
+	if faults.ScaledExecChaos(0).Active() {
+		t.Fatal("ScaledExecChaos(0) reports active")
+	}
+	if got := WithChaos(inner, eng, faults.ScaledExecChaos(0.5)); got == Executor(inner) {
+		t.Fatal("active chaos config did not wrap")
+	}
+}
+
+// TestChaosInjectionModes drives each injection mode at probability one and
+// asserts exactly what reaches the inner executor and the done callback.
+func TestChaosInjectionModes(t *testing.T) {
+	task := Task{Action: faults.Reseat}
+	cases := []struct {
+		name      string
+		cfg       faults.ExecChaos
+		wantInner int  // Execute calls reaching the real backend
+		wantDone  bool // an Outcome is eventually delivered
+		check     func(t *testing.T, out Outcome, stats ChaosStats)
+	}{
+		{
+			name: "stall delivers nothing",
+			cfg:  faults.ExecChaos{StallProb: 1},
+			check: func(t *testing.T, _ Outcome, s ChaosStats) {
+				if s.Stalls != 1 {
+					t.Fatalf("stats: %+v", s)
+				}
+			},
+		},
+		{
+			name:      "lost outcome performs work silently",
+			cfg:       faults.ExecChaos{LostProb: 1},
+			wantInner: 1,
+			check: func(t *testing.T, _ Outcome, s ChaosStats) {
+				if s.LostOutcomes != 1 {
+					t.Fatalf("stats: %+v", s)
+				}
+			},
+		},
+		{
+			name:      "slow completion stretches the report",
+			cfg:       faults.ExecChaos{SlowProb: 1, SlowFactor: 3},
+			wantInner: 1,
+			wantDone:  true,
+			check: func(t *testing.T, out Outcome, s ChaosStats) {
+				if s.SlowCompletions != 1 {
+					t.Fatalf("stats: %+v", s)
+				}
+				if got := out.Finished - out.Started; got != 3*10*sim.Minute {
+					t.Fatalf("reported duration %v, want 3x nominal", got)
+				}
+				if !out.Completed || !out.Fixed {
+					t.Fatalf("slow completion mangled the outcome: %+v", out)
+				}
+			},
+		},
+		{
+			name:     "spurious needs-human touches nothing",
+			cfg:      faults.ExecChaos{SpuriousNeedsHumanProb: 1},
+			wantDone: true,
+			check: func(t *testing.T, out Outcome, s ChaosStats) {
+				if s.SpuriousHuman != 1 {
+					t.Fatalf("stats: %+v", s)
+				}
+				if !out.NeedsHuman || out.Completed || out.Fixed {
+					t.Fatalf("outcome: %+v", out)
+				}
+			},
+		},
+		{
+			name:     "spurious stockout touches nothing",
+			cfg:      faults.ExecChaos{SpuriousStockoutProb: 1},
+			wantDone: true,
+			check: func(t *testing.T, out Outcome, s ChaosStats) {
+				if s.SpuriousStockout != 1 {
+					t.Fatalf("stats: %+v", s)
+				}
+				if !out.Stockout || out.Completed || out.Fixed {
+					t.Fatalf("outcome: %+v", out)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.NewEngine(7)
+			inner := &fakeExec{eng: eng, dur: 10 * sim.Minute}
+			x := WithChaos(inner, eng, tc.cfg).(*ChaosExecutor)
+			var out Outcome
+			dones := 0
+			x.Execute(x.Claim(topology.Location{}), task, func(o Outcome) {
+				out = o
+				dones++
+			})
+			eng.RunUntil(sim.Day)
+			if inner.calls != tc.wantInner {
+				t.Fatalf("inner executed %d time(s), want %d", inner.calls, tc.wantInner)
+			}
+			wantDones := 0
+			if tc.wantDone {
+				wantDones = 1
+			}
+			if dones != wantDones {
+				t.Fatalf("done called %d time(s), want %d", dones, wantDones)
+			}
+			s := x.Stats()
+			if s.Dispatches != 1 || s.Injected() != 1 {
+				t.Fatalf("stats: %+v", s)
+			}
+			tc.check(t, out, s)
+		})
+	}
+}

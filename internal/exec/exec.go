@@ -75,6 +75,18 @@ type Executor interface {
 // discovers them with type assertions and falls back to permissive
 // defaults (always on shift, no row occupancy, no operators) when absent.
 
+// DurationEstimator is an executor that can bound how long a dispatched
+// task nominally takes. The Act stage multiplies the estimate by a safety
+// factor to arm a watchdog over the attempt; executors without an estimate
+// fall back to the dispatcher's configured floor. Estimates must be
+// deterministic (no sampling): they feed sim-time deadlines, and a noisy
+// estimate would perturb runs that never time out.
+type DurationEstimator interface {
+	// EstimateDuration returns the nominal (mean-scale) duration of running
+	// t on a, including dispatch/travel overheads, or 0 when unknown.
+	EstimateDuration(a Actor, t Task) sim.Time
+}
+
 // Shifted is an executor whose workers keep shift hours.
 type Shifted interface {
 	// OnShift reports whether the instant falls inside working hours.

@@ -1,0 +1,62 @@
+package faults
+
+// ExecChaos calibrates deterministic fault injection for the maintenance
+// plane's own actuators (§3's implicit assumption made explicit: the
+// escalation ladder can fail mid-rung). It is consumed by the executor
+// wrapper in internal/exec, which draws from the engine's seeded
+// "execchaos" RNG stream, so chaos runs replay exactly at a fixed seed and
+// are entirely absent when the config is inactive. The probabilities are
+// per-dispatch and mutually exclusive, drawn in the fixed order below; the
+// zero value injects nothing.
+type ExecChaos struct {
+	// StallProb is the probability a dispatched actuator wedges before doing
+	// any work: no Outcome is ever delivered. Only the Act stage's watchdog
+	// recovers the attempt.
+	StallProb float64
+
+	// LostProb is the probability the work is physically performed but the
+	// completion report is dropped — the repair may have taken, yet the
+	// dispatcher never hears about it.
+	LostProb float64
+
+	// SlowProb is the probability the work completes but the report arrives
+	// after SlowFactor× the attempt's actual duration — racing (and usually
+	// losing to) the watchdog.
+	SlowProb float64
+	// SlowFactor stretches a slow-completing attempt's reporting latency;
+	// values <= 1 deliver on time.
+	SlowFactor float64
+
+	// SpuriousNeedsHumanProb is the probability the actuator gives up
+	// immediately with a fabricated human-support request, without touching
+	// hardware (a perception subsystem crying wolf).
+	SpuriousNeedsHumanProb float64
+
+	// SpuriousStockoutProb is the probability the actuator falsely reports a
+	// parts stockout without touching hardware.
+	SpuriousStockoutProb float64
+}
+
+// Active reports whether any injection can occur.
+func (c ExecChaos) Active() bool {
+	return c.StallProb > 0 || c.LostProb > 0 || c.SlowProb > 0 ||
+		c.SpuriousNeedsHumanProb > 0 || c.SpuriousStockoutProb > 0
+}
+
+// ScaledExecChaos returns the standard chaos mix at total injection rate
+// rate: stalls and lost outcomes dominate (the hard failures only a
+// watchdog can catch), with slow completions and spurious give-ups making
+// up the rest. SlowFactor 60 turns a minutes-scale robot task into an
+// hours-late report, so slow completions genuinely race (and often lose
+// to) the dispatcher's watchdog floor instead of arriving comfortably
+// early. rate 0 is inactive.
+func ScaledExecChaos(rate float64) ExecChaos {
+	return ExecChaos{
+		StallProb:              0.30 * rate,
+		LostProb:               0.25 * rate,
+		SlowProb:               0.25 * rate,
+		SlowFactor:             60,
+		SpuriousNeedsHumanProb: 0.10 * rate,
+		SpuriousStockoutProb:   0.10 * rate,
+	}
+}

@@ -3,6 +3,7 @@ package robot
 import (
 	"repro/internal/exec"
 	"repro/internal/faults"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -45,6 +46,14 @@ func (e *Executor) Execute(a exec.Actor, t exec.Task, done func(exec.Outcome)) {
 			Note:       out.Note,
 		})
 	})
+}
+
+// EstimateDuration implements exec.DurationEstimator: the fleet's
+// deterministic scheduling estimate (mean primitive times plus travel) for
+// the unit the dispatcher claimed.
+func (e *Executor) EstimateDuration(a exec.Actor, t exec.Task) sim.Time {
+	u := a.(unitActor).u
+	return e.fleet.EstimateDuration(u, Task{Link: t.Link, End: t.End, Action: t.Action})
 }
 
 // unitActor lifts a Unit (whose Name is a field) to the exec.Actor

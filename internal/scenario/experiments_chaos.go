@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/ticket"
+)
+
+// R7ActuatorChaos regenerates Table R7: repair performance when the
+// maintenance plane's own actuators fail — robots stalling mid-rung, losing
+// their outcome reports, finishing late, or crying wolf (spurious give-ups).
+// Each (level × chaos-rate × seed) cell runs the standard accelerated year
+// with the robot lane wrapped in faults.ScaledExecChaos at the given rate;
+// rate 0 is the unwrapped baseline, so the first row of each level doubles
+// as a regression anchor against T1. The table reports repair-latency
+// quantiles, the share of dispatches that fell to the human lane, and the
+// watchdog's own bookkeeping (fires, degradations, late outcomes) against
+// the injected fault count.
+func R7ActuatorChaos(r *Runner, p RepairParams) (*metrics.Table, error) {
+	levels := []core.Level{core.L1, core.L3}
+	rates := []float64{0, 0.1, 0.3}
+	tab := &metrics.Table{
+		Title: "R7: repair performance under actuator chaos",
+		Cols: []string{"level", "chaos", "tickets", "median", "p95",
+			"human share", "watchdog", "degraded", "late", "injected"},
+		Notes: []string{
+			fmt.Sprintf("duration=%v per seed, fault acceleration x%g, seeds=%d", p.Duration, p.FaultScale, len(p.Seeds)),
+			"chaos: total per-dispatch injection rate on the robot lane (stall/lost/slow/spurious mix)",
+			"human share: fraction of physical dispatches executed by technicians",
+			"watchdog/degraded/late: force-failed attempts, tickets escalated after repeated robot",
+			"watchdog failures, and outcomes arriving after their attempt was force-failed",
+		},
+	}
+	type r7 struct {
+		windows              []float64
+		robot, human         int
+		watchdog, degraded   int
+		late, injected, open int
+	}
+	var cells []Cell[r7]
+	for _, level := range levels {
+		for _, rate := range rates {
+			for _, seed := range p.Seeds {
+				cells = append(cells, Cell[r7]{
+					Key: fmt.Sprintf("R7/%v/chaos=%g/seed=%d", level, rate, seed),
+					Run: func() (r7, error) {
+						var c r7
+						w, err := Build(Options{
+							Seed:       seed,
+							BuildNet:   p.net(),
+							Level:      level,
+							Techs:      2,
+							Robots:     true,
+							FaultScale: p.FaultScale,
+							Chaos:      faults.ScaledExecChaos(rate),
+						})
+						if err != nil {
+							return c, err
+						}
+						w.Run(p.Duration)
+						for _, t := range w.Store.All() {
+							if t.Kind != ticket.Reactive {
+								continue
+							}
+							switch t.Status {
+							case ticket.Resolved:
+								c.windows = append(c.windows, t.ServiceWindow().Duration().Hours())
+							case ticket.Open, ticket.Assigned, ticket.Active:
+								c.open++
+							}
+						}
+						st := w.Ctrl.Stats()
+						c.robot, c.human = st.RobotTasks, st.HumanTasks
+						c.watchdog, c.degraded, c.late = st.WatchdogFires, st.DegradedTickets, st.LateOutcomes
+						c.injected = w.ChaosStats().Injected()
+						return c, nil
+					},
+				})
+			}
+		}
+	}
+	res, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, level := range levels {
+		for _, rate := range rates {
+			var all metrics.Histogram
+			var agg r7
+			for range p.Seeds {
+				c := res[i]
+				i++
+				for _, v := range c.windows {
+					all.Add(v)
+				}
+				agg.robot += c.robot
+				agg.human += c.human
+				agg.watchdog += c.watchdog
+				agg.degraded += c.degraded
+				agg.late += c.late
+				agg.injected += c.injected
+				agg.open += c.open
+			}
+			dispatches := agg.robot + agg.human
+			share := 0.0
+			if dispatches > 0 {
+				share = float64(agg.human) / float64(dispatches)
+			}
+			tab.AddRow(level.String(), fmt.Sprintf("%.0f%%", 100*rate), all.N(),
+				fmtHours(all.Quantile(0.5)), fmtHours(all.Quantile(0.95)),
+				fmt.Sprintf("%.1f%%", 100*share),
+				agg.watchdog, agg.degraded, agg.late, agg.injected)
+		}
+	}
+	return tab, nil
+}

@@ -175,6 +175,13 @@ var registry = []Experiment{
 		}
 		return []Artifact{{ID: "T8", Tab: tab}}, nil
 	}},
+	{ID: "R7", Emits: []string{"R7"}, run: func(r *Runner, p SuiteParams) ([]Artifact, error) {
+		tab, err := R7ActuatorChaos(r, p.Repair)
+		if err != nil {
+			return nil, err
+		}
+		return []Artifact{{ID: "R7", Tab: tab}}, nil
+	}},
 }
 
 // ExperimentIDs returns every selectable artifact id in suite order.

@@ -68,6 +68,13 @@ func (e *Executor) ClaimOperator() (exec.Operator, bool) {
 	return techOperator{crew: e.crew, t: t}, true
 }
 
+// EstimateDuration implements exec.DurationEstimator: the crew's
+// deterministic nominal dispatch+walk+work latency for the action,
+// including the off-shift on-call surcharge.
+func (e *Executor) EstimateDuration(_ exec.Actor, t exec.Task) sim.Time {
+	return e.crew.EstimateExecDuration(t.Action)
+}
+
 // techActor lifts a Technician (whose Name is a field) to exec.Actor.
 type techActor struct{ t *Technician }
 

@@ -191,6 +191,19 @@ func (c *Crew) EstimateDuration(a faults.Action) sim.Time {
 	return base
 }
 
+// EstimateExecDuration bounds the nominal end-to-end latency of one Execute
+// call, for watchdog arming: mean dispatch overhead plus the mean on-call
+// surcharge (the estimate must cover off-shift dispatches too), a walk
+// margin across the hall, and the action's mean hands-on time. Unlike
+// DispatchDelay it never samples — estimates feed sim-time deadlines, and a
+// noisy estimate would perturb runs that never time out.
+func (c *Crew) EstimateExecDuration(a faults.Action) sim.Time {
+	d := sim.MeanDuration(c.cfg.DispatchOverhead)*3600 + sim.MeanDuration(c.cfg.OnCallDelay)*3600
+	d += 30 * sim.Minute
+	d += sim.MeanDuration(actionDist(c.cfg, a))
+	return d
+}
+
 func actionDist(cfg Config, a faults.Action) sim.Dist {
 	switch a {
 	case faults.Reseat:

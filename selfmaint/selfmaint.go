@@ -229,6 +229,9 @@ type Report struct {
 	CascadesDuringOps  int
 	ProactiveTasks     int
 	PredictiveTasks    int
+	WatchdogFires      int
+	LateOutcomes       int
+	DegradedTickets    int
 }
 
 // Report computes the current run summary.
@@ -254,6 +257,9 @@ func (c *Cluster) Report() Report {
 		CascadesDuringOps:  st.CascadesDuringOps,
 		ProactiveTasks:     st.ProactiveTasks,
 		PredictiveTasks:    st.PredictiveTasks,
+		WatchdogFires:      st.WatchdogFires,
+		LateOutcomes:       st.LateOutcomes,
+		DegradedTickets:    st.DegradedTickets,
 	}
 }
 
@@ -269,6 +275,10 @@ func (r Report) String() string {
 		r.RobotTasks, r.HumanTasks, r.EscalationsToHuman, r.CascadesDuringOps)
 	if r.ProactiveTasks+r.PredictiveTasks > 0 {
 		fmt.Fprintf(&b, "  proactive: %d campaign tasks, %d predictive\n", r.ProactiveTasks, r.PredictiveTasks)
+	}
+	if r.WatchdogFires+r.LateOutcomes+r.DegradedTickets > 0 {
+		fmt.Fprintf(&b, "  watchdog: %d fired, %d late outcomes, %d tickets degraded to human\n",
+			r.WatchdogFires, r.LateOutcomes, r.DegradedTickets)
 	}
 	return b.String()
 }
