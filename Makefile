@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-quick experiments-quick ci
+.PHONY: all build test race vet lint fmt fmt-check bench bench-quick experiments-quick shard-diff ci
 
 all: build
 
@@ -43,6 +43,15 @@ bench-quick:
 # the determinism tests cover correctness, this covers the CLI path).
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick -parallel 0 > /dev/null
+
+# Region-sharding differential gate: a one-shard MultiEngine world must be
+# byte-identical to a plain-Engine build, and the sharded fleet must produce
+# identical reports at every worker count (kernel, fleet, and full-world
+# scenario layers).
+shard-diff:
+	$(GO) test -run 'TestSingleShardMatchesPlainEngine|TestWorkerCountsByteIdentical' ./internal/sim/
+	$(GO) test -run 'TestFleetWorkerCountsByteIdentical' ./internal/fleet/
+	$(GO) test -run 'TestShardedWorldMatchesPlainBuild|TestFleetScaleOutDeterminism' ./internal/scenario/
 
 ci:
 	./ci.sh

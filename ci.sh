@@ -23,6 +23,9 @@ fi
 echo "== go test -race"
 go test -race ./...
 
+echo "== shard-diff (sharded == single-engine, all worker counts)"
+make shard-diff
+
 echo "== bench smoke (routing hot paths, 1 iteration)"
 make bench-quick
 

@@ -5,6 +5,8 @@
 //	experiments -run T1,F4       # selected experiments only (unknown ids are an error)
 //	experiments -csv DIR         # also write CSV files into DIR
 //	experiments -parallel 4      # cap the simulation worker pool at 4
+//	experiments -workers 4       # one worker count everywhere: the cell pool
+//	                             # AND the F8 shard coordinator sweep ({1, N})
 //	experiments -serial          # one worker, no goroutines (bit-identical to -parallel N)
 //	experiments -bench-json PATH # write the BENCH perf artifact (timings, cells/sec, allocs)
 //	experiments -cpuprofile F    # write a CPU profile of the suite run
@@ -35,6 +37,7 @@ func main() {
 		runs      = flag.String("run", "", "comma-separated experiment ids ("+strings.Join(scenario.ExperimentIDs(), ",")+"); empty = all")
 		csv       = flag.String("csv", "", "directory to write CSV artifacts into")
 		parallel  = flag.Int("parallel", 0, "simulation worker-pool size; 0 = all host cores")
+		workersN  = flag.Int("workers", 0, "worker count for the cell pool AND the F8 shard coordinator (sweeps {1, N}); 0 = defaults")
 		serial    = flag.Bool("serial", false, "run everything on one worker (escape hatch; same output)")
 		benchJSON = flag.String("bench-json", "", "write a BENCH_experiments.json perf artifact to this path")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
@@ -46,6 +49,21 @@ func main() {
 		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Validate worker flags up front, before any simulation runs: a bad
+	// worker count discovered mid-suite throws the run away.
+	if *parallel < 0 {
+		fail(fmt.Errorf("-parallel %d: must be >= 0 (0 = all host cores)", *parallel))
+	}
+	if *workersN < 0 {
+		fail(fmt.Errorf("-workers %d: must be >= 0 (0 = defaults)", *workersN))
+	}
+	if *workersN > 0 && *serial && *workersN != 1 {
+		fail(fmt.Errorf("-workers %d conflicts with -serial (which pins one worker)", *workersN))
+	}
+	if *workersN > 0 && *parallel > 0 && *parallel != *workersN {
+		fail(fmt.Errorf("-workers %d conflicts with -parallel %d: pick one", *workersN, *parallel))
 	}
 
 	// Validate profile destinations up front: -memprofile is only opened
@@ -89,11 +107,21 @@ func main() {
 	}
 
 	workers := *parallel
+	if *workersN > 0 {
+		workers = *workersN
+	}
 	if *serial {
 		workers = 1
 	}
+	p := scenario.DefaultSuiteParams(*quick)
+	if *workersN > 0 {
+		// One knob everywhere: the F8 shard-coordinator sweep becomes
+		// {1, N} — the serial baseline stays so the fingerprint equality
+		// the experiment enforces remains a real differential check.
+		p.Fleet.Workers = []int{1, *workersN}
+	}
 	r := scenario.NewRunner(workers)
-	arts, bench, err := scenario.RunSuite(r, exps, scenario.DefaultSuiteParams(*quick))
+	arts, bench, err := scenario.RunSuite(r, exps, p)
 	if err != nil {
 		fail(err)
 	}

@@ -1,7 +1,10 @@
 package detsort
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -54,5 +57,58 @@ func TestKeysFunc(t *testing.T) {
 	want := []pair{{1, 1}, {1, 2}, {2, 1}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("KeysFunc = %v, want %v", got, want)
+	}
+}
+
+// TestKeysFuncConcurrentPipelines exercises KeysFunc from many goroutines
+// at once — the region-sharded simulation calls it from every shard's
+// pipeline concurrently — and checks each caller still gets the exact
+// sorted order. Under -race this pins that KeysFunc touches no shared
+// state: each shard's maps are its own, and sorting must stay that way.
+func TestKeysFuncConcurrentPipelines(t *testing.T) {
+	type key struct{ Region, Seq int }
+	cmp := func(a, b key) int {
+		if a.Region != b.Region {
+			return a.Region - b.Region
+		}
+		return a.Seq - b.Seq
+	}
+	build := func(shard int) map[key]int {
+		m := make(map[key]int)
+		for i := 0; i < 300; i++ {
+			m[key{Region: (shard + i) % 7, Seq: 299 - i}] = i
+		}
+		return m
+	}
+	render := func(shard int) string {
+		var b strings.Builder
+		for round := 0; round < 20; round++ {
+			for _, k := range KeysFunc(build(shard), cmp) {
+				fmt.Fprintf(&b, "%d/%d ", k.Region, k.Seq)
+			}
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	const shards = 8
+	want := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		want[s] = render(s)
+	}
+	got := make([]string, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[s] = render(s)
+		}()
+	}
+	wg.Wait()
+	for s := 0; s < shards; s++ {
+		if got[s] != want[s] {
+			t.Fatalf("shard %d: concurrent KeysFunc order diverged from serial", s)
+		}
 	}
 }

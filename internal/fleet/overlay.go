@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Overlay is the inter-region backbone the hub shard owns: one core switch
+// per region joined by a ring-plus-chords trunk mesh, with its own fault
+// injector stream family, its own incremental routing cache, a backbone-NOC
+// repair loop, and an availability integrator. Trunk health transitions are
+// shipped to the adjacent regions as cross-shard notices, so regions can
+// react to WAN weather without ever touching hub state.
+type Overlay struct {
+	Net    *topology.Network
+	Inj    *faults.Injector
+	Router *routing.Router
+
+	// Faults and Repairs count trunk fault onsets and completed NOC
+	// repairs over the run.
+	Faults  int
+	Repairs int
+
+	f   *Fleet
+	hub *sim.Shard
+
+	trunks        map[topology.LinkID][2]int // trunk -> adjacent regions
+	repairPending map[topology.LinkID]bool
+
+	avail metrics.StepIntegrator
+	ws    routing.Workspace
+	tm    routing.TrafficMatrix
+}
+
+// buildOverlay constructs the backbone on the hub shard's engine.
+func buildOverlay(f *Fleet, hub *sim.Shard) (*Overlay, error) {
+	//lint:allow crossshard build-time wiring: the overlay is constructed on the hub shard before the run
+	eng := hub.Engine()
+	R := f.cfg.Regions
+	net := topology.New("overlay")
+	ovl := &Overlay{
+		Net: net, f: f, hub: hub,
+		trunks:        make(map[topology.LinkID][2]int),
+		repairPending: make(map[topology.LinkID]bool),
+	}
+
+	// One core switch per region, plus a gateway host that terminates the
+	// region's share of inter-region traffic (UniformMatrix sources and
+	// sinks at hosts). 8 ports cover ring (2) + chords (2) + gateway (1).
+	cores := make([]*topology.Device, R)
+	for i := 0; i < R; i++ {
+		cores[i] = net.AddDevice(fmt.Sprintf("ovl-core-%03d", i), topology.CoreSwitch,
+			topology.Location{Row: i}, 8)
+		gw := net.AddDevice(fmt.Sprintf("ovl-gw-%03d", i), topology.Server,
+			topology.Location{Row: i, Rack: 1}, 1)
+		// Gateway drops are not WAN weather; DAC keeps their fault surface
+		// minimal relative to the long-haul trunks.
+		net.Connect(net.FreePort(cores[i]), net.FreePort(gw), topology.DAC, f.cfg.TrunkGbps/4)
+	}
+	trunk := func(i, j int) {
+		l := net.Connect(net.FreePort(cores[i]), net.FreePort(cores[j]),
+			topology.FiberLC, f.cfg.TrunkGbps)
+		ovl.trunks[l.ID] = [2]int{i, j}
+	}
+	// Ring backbone; R==2 degenerates to a single trunk.
+	for i := 0; i < R && R >= 2; i++ {
+		j := (i + 1) % R
+		if j <= i {
+			continue
+		}
+		trunk(i, j)
+	}
+	if R > 2 {
+		trunk(R-1, 0)
+	}
+	// Chord trunks shortcut the ring once the fleet is large enough for
+	// ring diameter to matter.
+	if step := R / 3; step >= 2 {
+		for i := 0; i < R; i++ {
+			trunk(i, (i+step)%R)
+		}
+	}
+
+	fcfg := faults.DefaultConfig()
+	for c := range fcfg.AnnualRate {
+		fcfg.AnnualRate[c] *= f.cfg.TrunkFaultScale
+	}
+	ovl.Inj = faults.NewInjector(eng, net, fcfg)
+	ovl.Router = routing.NewRouter(net, func(id topology.LinkID) bool {
+		return ovl.Inj.Observable(id) != faults.Down
+	})
+	ovl.Inj.Subscribe(overlayListener{ovl})
+
+	// Sample cross-region reachability each summary period: a uniform
+	// gateway-to-gateway matrix at half the per-gateway access capacity.
+	if R >= 2 {
+		ovl.tm = routing.UniformMatrix(net, float64(R)*f.cfg.TrunkGbps/8)
+		eng.Every(f.cfg.SummaryEvery, f.cfg.SummaryEvery, "overlay-sample", func(at sim.Time) {
+			ovl.avail.Observe(at, ovl.Router.EvaluateInto(&ovl.ws, ovl.tm).Availability())
+		})
+	}
+	return ovl, nil
+}
+
+// Availability returns the time-averaged cross-region traffic availability
+// up to t (1.0 for a single-region fleet, which has no overlay traffic).
+func (o *Overlay) Availability(t sim.Time) float64 {
+	if o.f.cfg.Regions < 2 {
+		return 1
+	}
+	return o.avail.Average(t)
+}
+
+// Trunks returns the number of inter-region trunks.
+func (o *Overlay) Trunks() int { return len(o.trunks) }
+
+// overlayListener reacts to overlay ground truth: it keeps the routing
+// cache fresh, books a NOC repair for every fault, and posts trunk notices
+// to the adjacent regions at the healthy boundary.
+type overlayListener struct{ o *Overlay }
+
+func (ol overlayListener) LinkStateChanged(l *topology.Link, from, to faults.Health, at sim.Time) {
+	o := ol.o
+	o.Router.InvalidateLink(l.ID)
+
+	regions, isTrunk := o.trunks[l.ID]
+	if isTrunk && (from == faults.Healthy) != (to == faults.Healthy) {
+		up := to == faults.Healthy
+		if !up {
+			o.Faults++
+		}
+		for _, r := range regions {
+			r := r
+			o.f.stats.TrunkNotices++
+			o.hub.Send(r+1, o.f.cfg.Lookahead, "trunk-notice", func() {
+				o.f.regions[r].TrunkStateChanged(up, at)
+			})
+		}
+	}
+
+	// Backbone NOC: every overlay fault gets a repair after a log-normal
+	// delay. ClearFault resets the cleared cause's onset clock, so the
+	// overlay keeps weathering faults for the whole run.
+	if to != faults.Healthy && !o.repairPending[l.ID] {
+		o.repairPending[l.ID] = true
+		mean := o.f.cfg.TrunkRepairMeanH * 3600
+		const sigma = 0.6
+		//lint:allow crossshard same-shard access: overlay listeners fire inside hub-shard events, so this is the shard's own engine
+		hubEng := o.hub.Engine()
+		delay := hubEng.RNG("fleet/noc").LogNormal(math.Log(mean)-sigma*sigma/2, sigma)
+		hubEng.After(sim.Time(delay*float64(sim.Second)), "trunk-repair", func() {
+			o.repairPending[l.ID] = false
+			if o.Inj.State(l.ID).Health != faults.Healthy || o.Inj.State(l.ID).Cause != faults.None {
+				o.Inj.ClearFault(l)
+				if _, wasTrunk := o.trunks[l.ID]; wasTrunk {
+					o.Repairs++
+				}
+			}
+		})
+	}
+}
+
+func (ol overlayListener) LinkFlapped(*topology.Link, sim.Time, float64, sim.Time) {}

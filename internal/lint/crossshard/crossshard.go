@@ -1,0 +1,97 @@
+// Package crossshard guards the shard-isolation invariant of the
+// region-sharded simulation. Between epoch barriers a shard's engine is
+// mutated only by its own goroutine; the only sanctioned cross-shard
+// channel is Shard.Send, which defers the effect to the barrier exchange.
+// The two escape hatches that let code reach an engine directly —
+// MultiEngine.Shard and Shard.Engine — exist for build-time wiring, and
+// every use in a deterministic package must therefore be audited: each call
+// site either carries a //lint:allow crossshard directive explaining why it
+// runs before the clock starts (or on its own shard), or it is a finding.
+// A foreign engine touched mid-run is both a data race at workers > 1 and
+// a determinism break at any worker count.
+package crossshard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/determinism"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "crossshard",
+	Doc: "audit escapes from shard isolation in sharded-simulation code\n\n" +
+		"MultiEngine.Shard and Shard.Engine reach a shard's engine directly,\n" +
+		"bypassing the epoch barrier; every call in a deterministic package\n" +
+		"must be build-time wiring or self-access, and say so in a\n" +
+		"//lint:allow crossshard directive.",
+	Run: run,
+}
+
+// audited maps receiver type -> method names that escape shard isolation.
+var audited = map[string]map[string]bool{
+	"MultiEngine": {"Shard": true},
+	"Shard":       {"Engine": true},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !determinism.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	if pass.Pkg.Name() == "sim" {
+		// The coordinator itself owns the barrier; its internal accesses
+		// are the mechanism, not an escape.
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, name, ok := simMethod(pass, call)
+			if !ok || !audited[recv][name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"(*sim.%s).%s escapes shard isolation: outside the barrier exchange it may only be "+
+					"build-time wiring or same-shard access; route cross-shard effects through Shard.Send "+
+					"or annotate //lint:allow crossshard <why this site is safe>",
+				recv, name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// simMethod reports the receiver type and method name when call invokes a
+// method on a type of the sim package (matched by package name and type
+// name, so analyzer testdata stubs qualify alongside repro/internal/sim).
+func simMethod(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "sim" {
+		return "", "", false
+	}
+	return obj.Name(), fn.Name(), true
+}

@@ -1,0 +1,12 @@
+package crossshard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/crossshard"
+)
+
+func TestCrossShard(t *testing.T) {
+	analysistest.Run(t, "testdata", crossshard.Analyzer, "det/crossshard")
+}

@@ -1,0 +1,42 @@
+package crossshard
+
+import "det/sim"
+
+func flagged(me *sim.MultiEngine) {
+	me.Shard(1)               // want `\(\*sim\.MultiEngine\)\.Shard escapes shard isolation`
+	s := me.Shard(0).Engine() // want `\(\*sim\.MultiEngine\)\.Shard escapes shard isolation` `\(\*sim\.Shard\)\.Engine escapes shard isolation`
+	_ = s
+}
+
+func flaggedInClosure(me *sim.MultiEngine, s *sim.Shard) {
+	s.Send(1, 10, "cross", func() {
+		me.Shard(1).Engine().Schedule(0, "bad", nil) // want `\(\*sim\.MultiEngine\)\.Shard escapes shard isolation` `\(\*sim\.Shard\)\.Engine escapes shard isolation`
+	})
+}
+
+func sanctioned(me *sim.MultiEngine, s *sim.Shard) {
+	// The deferred cross-shard channel and coordinator queries are free.
+	s.Send(1, 10, "cross", func() {})
+	_ = s.ID()
+	_ = me.Shards()
+	me.RunUntil(100)
+}
+
+func audited(me *sim.MultiEngine) {
+	//lint:allow crossshard build-time wiring before the clock starts
+	eng := me.Shard(0).Engine()
+	_ = eng
+	s := me.Shard(1) //lint:allow crossshard trailing-form directive also suppresses
+	_ = s
+}
+
+type notSim struct{}
+
+func (notSim) Shard(i int) int  { return i }
+func (notSim) Engine() struct{} { return struct{}{} }
+
+func otherTypesNotMatched(x notSim) {
+	// Same method names on a non-sim type are not the escape hatches.
+	_ = x.Shard(3)
+	_ = x.Engine()
+}

@@ -1,0 +1,39 @@
+// Package sim is a testdata stub of the sharded simulation kernel: just
+// enough surface for the crossshard analyzer's receiver-type matching.
+package sim
+
+// Time is virtual time.
+type Time int64
+
+// Engine is one shard's event loop.
+type Engine struct{}
+
+// Now returns the engine clock.
+func (e *Engine) Now() Time { return 0 }
+
+// Schedule registers an event.
+func (e *Engine) Schedule(at Time, name string, fn func()) {}
+
+// MultiEngine coordinates shards.
+type MultiEngine struct{}
+
+// Shard returns shard i (the audited escape hatch).
+func (me *MultiEngine) Shard(i int) *Shard { return nil }
+
+// Shards returns the shard count (not audited).
+func (me *MultiEngine) Shards() int { return 0 }
+
+// RunUntil advances the world (not audited).
+func (me *MultiEngine) RunUntil(deadline Time) {}
+
+// Shard is one region's slot.
+type Shard struct{}
+
+// Engine returns the shard's engine (the audited escape hatch).
+func (s *Shard) Engine() *Engine { return nil }
+
+// ID returns the shard index (not audited).
+func (s *Shard) ID() int { return 0 }
+
+// Send posts a cross-shard event (the sanctioned channel, not audited).
+func (s *Shard) Send(dst int, delay Time, name string, fn func()) {}

@@ -1,4 +1,4 @@
-// Package lint registers the selfmaintlint analyzer suite: the five
+// Package lint registers the selfmaintlint analyzer suite: the six
 // machine-enforced determinism and hot-path invariants behind the repo's
 // byte-identical fixed-seed guarantee. cmd/selfmaintlint runs them as a CI
 // gate; DESIGN.md ("Determinism invariants") documents each rule and how to
@@ -8,6 +8,7 @@ package lint
 import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/busreentry"
+	"repro/internal/lint/crossshard"
 	"repro/internal/lint/globalrand"
 	"repro/internal/lint/hotpathalloc"
 	"repro/internal/lint/mapiter"
@@ -22,6 +23,7 @@ func Analyzers() []*analysis.Analyzer {
 		mapiter.Analyzer,
 		busreentry.Analyzer,
 		hotpathalloc.Analyzer,
+		crossshard.Analyzer,
 	}
 }
 

@@ -244,6 +244,35 @@ func (f *Fleet) DeployPerRow() []*Unit {
 // Units returns the fleet's units.
 func (f *Fleet) Units() []*Unit { return f.units }
 
+// AvailableUnits counts units that are idle and serviceable right now.
+func (f *Fleet) AvailableUnits() int {
+	n := 0
+	for _, u := range f.units {
+		if u.Available() {
+			n++
+		}
+	}
+	return n
+}
+
+// RemoveUnit withdraws the unit from service, preserving deployment order
+// of the rest. Only an idle, serviceable unit can be withdrawn — removing a
+// unit mid-task would strand its work item — so it returns false for busy,
+// broken, charging, or unknown units. Cross-region robot transfers use this
+// on the lending side.
+func (f *Fleet) RemoveUnit(u *Unit) bool {
+	if u == nil || !u.Available() {
+		return false
+	}
+	for i, v := range f.units {
+		if v == u {
+			f.units = append(f.units[:i], f.units[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // FindUnit returns an available unit that can reach the location, or nil.
 func (f *Fleet) FindUnit(loc topology.Location) *Unit {
 	for _, u := range f.units {

@@ -1,0 +1,257 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/robot"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// fleetRegion adapts one World to the fleet.Region contract: health
+// summaries for the hub's aggregation stage, robot lending for cross-region
+// rebalancing, and trunk-weather notices. Every method runs on the region's
+// own shard, so it touches only this world.
+type fleetRegion struct {
+	w *World
+
+	// Received counts robots this region received from donors; TrunkDown
+	// counts adjacent-trunk outage notices.
+	Received  int
+	TrunkDown int
+}
+
+func (fr *fleetRegion) Summary(at sim.Time) fleet.Summary {
+	down := 0
+	for _, l := range fr.w.Net.Links {
+		if fr.w.Inj.Observable(l.ID) != faults.Healthy {
+			down++
+		}
+	}
+	sum := fr.w.Store.Summarize()
+	return fleet.Summary{
+		Links: len(fr.w.Net.Links), LinksDown: down,
+		OpenTickets: len(fr.w.Store.OpenQueue()), Resolved: sum.Resolved,
+		RobotsIdle: fr.w.Fleet.AvailableUnits(), RobotsTotal: len(fr.w.Fleet.Units()),
+	}
+}
+
+func (fr *fleetRegion) LendUnit() bool {
+	for _, u := range fr.w.Fleet.Units() {
+		if u.Available() && fr.w.Fleet.RemoveUnit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+func (fr *fleetRegion) ReceiveUnit(name string) {
+	// Transferred units arrive hall-scoped: they are the surge capacity the
+	// borrower can point anywhere.
+	fr.w.Fleet.AddUnit(name, robot.HallScope, topology.Location{})
+	fr.Received++
+}
+
+func (fr *fleetRegion) TrunkStateChanged(up bool, at sim.Time) {
+	if !up {
+		fr.TrunkDown++
+	}
+}
+
+// FleetParams sizes the F8 fleet scale-out experiment.
+type FleetParams struct {
+	Seed    uint64
+	Regions int
+	// Per-region fabric; Regions × (Leaves×Spines×Uplinks + Leaves×Hosts)
+	// links total.
+	Leaves, Spines, HostsPerLeaf int
+
+	Days       int
+	FaultScale float64 // per-region accelerated aging
+	TrunkScale float64 // overlay trunk acceleration
+
+	// Workers is the shard-worker sweep; 0 entries mean runtime.NumCPU().
+	// Duplicates (after substitution) collapse.
+	Workers []int
+}
+
+// DefaultFleetParams returns the full-size F8 configuration — 100
+// datacenters of ~10k links each, one million links fleet-wide — or the
+// quick variant used by tests and `-quick` runs.
+func DefaultFleetParams(quick bool) FleetParams {
+	if quick {
+		return FleetParams{
+			Seed: 9, Regions: 4, Leaves: 8, Spines: 2, HostsPerLeaf: 4,
+			Days: 3, FaultScale: 1000, TrunkScale: 300,
+			Workers: []int{1, 2},
+		}
+	}
+	return FleetParams{
+		Seed: 9, Regions: 100, Leaves: 64, Spines: 32, HostsPerLeaf: 128,
+		Days: 3, FaultScale: 20, TrunkScale: 50,
+		Workers: []int{1, 2, 4, 0},
+	}
+}
+
+// workerSweep resolves the sweep list: substitute NumCPU for zeros, drop
+// non-positives, dedup preserving order.
+func (p FleetParams) workerSweep() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range p.Workers {
+		if w == 0 {
+			w = runtime.NumCPU()
+		}
+		if w < 1 || seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// LinksPerRegion is the per-datacenter link count the fabric config yields.
+func (p FleetParams) LinksPerRegion() int {
+	return p.Leaves*p.Spines + p.Leaves*p.HostsPerLeaf
+}
+
+// BuildFleet wires a region-sharded fleet: every region is a complete
+// self-maintenance World (topology, faults, telemetry, pipeline, robots,
+// humans) living on its own shard of one sim.MultiEngine, and the hub shard
+// runs the inter-region overlay plus the aggregation stage.
+func BuildFleet(p FleetParams, workers int) (*fleet.Fleet, []*fleetRegion, error) {
+	regions := make([]*fleetRegion, 0, p.Regions)
+	f, err := fleet.Build(fleet.Config{
+		Seed:    p.Seed,
+		Regions: p.Regions,
+		Workers: workers,
+		// Any backlog with no idle robots is grounds to borrow: half the
+		// fleet (below) launches without robots, the paper's staged-rollout
+		// situation, and leans on transfers from the automated half.
+		TransferBacklog: 1,
+		// A fleet ticket at 0.2% of a datacenter's links down: at these
+		// acceleration factors a healthy region sits well under that, a
+		// struggling one (robot-less, understaffed) crosses it.
+		DegradedFrac:    0.002,
+		TrunkFaultScale: p.TrunkScale,
+		BuildRegion: func(shard *sim.Shard, region int) (fleet.Region, error) {
+			// Staged rollout: even regions are automated datacenters; odd
+			// regions are fresh builds still waiting on their robot
+			// deployment — understaffed, they run on technicians plus
+			// whatever the fleet lends them.
+			automated := region%2 == 0
+			techs := 1
+			if automated {
+				techs = 2
+			}
+			w, err := Build(Options{
+				//lint:allow crossshard build-time wiring: the region's world is constructed on its own shard's engine
+				Eng: shard.Engine(),
+				BuildNet: func() (*topology.Network, error) {
+					return topology.NewLeafSpine(topology.LeafSpineConfig{
+						Leaves: p.Leaves, Spines: p.Spines, HostsPerLeaf: p.HostsPerLeaf,
+						Uplinks: 1, FabricGbps: 400, HostGbps: 100,
+					})
+				},
+				Level: core.L3, Techs: techs, Robots: automated,
+				FaultScale: p.FaultScale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Automated datacenters carry hall-scope surge units beyond the
+			// per-row deployment — the slack the fleet broker redistributes.
+			if automated {
+				for k := 0; k < 2; k++ {
+					w.Fleet.AddUnit(fmt.Sprintf("surge-%d-%d", region, k),
+						robot.HallScope, topology.Location{})
+				}
+			}
+			fr := &fleetRegion{w: w}
+			regions = append(regions, fr)
+			return fr, nil
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, regions, nil
+}
+
+// F8FleetScale regenerates Table F8: the fleet scale-out experiment. One
+// sharded world — every region a full datacenter — is run once per shard
+// worker count; the table reports the coordination work (epochs, cross-shard
+// events, transfers, fleet tickets, overlay availability) and the report
+// fingerprint, which must be identical across the whole sweep. The paper's
+// scale pitch (§4: "low-cost rollout of new networks", datacenters as
+// self-maintaining units of a fleet) is only credible if the fleet simulates
+// deterministically at any parallelism, so the fingerprint equality is
+// enforced here, not just in tests.
+func F8FleetScale(r *Runner, p FleetParams) (*metrics.Table, error) {
+	sweep := p.workerSweep()
+	type row struct {
+		workers int
+		rep     *fleet.Report
+		trunks  int
+		links   int
+	}
+	cells := make([]Cell[row], len(sweep))
+	for i, w := range sweep {
+		w := w
+		cells[i] = Cell[row]{
+			Key: fmt.Sprintf("F8/workers=%d", w),
+			Run: func() (row, error) {
+				f, regions, err := BuildFleet(p, w)
+				if err != nil {
+					return row{}, err
+				}
+				f.Run(sim.Time(p.Days) * sim.Day)
+				links := 0
+				for _, fr := range regions {
+					links += len(fr.w.Net.Links)
+				}
+				return row{workers: w, rep: f.Report(), trunks: f.Overlay.Trunks(), links: links}, nil
+			},
+		}
+	}
+	rows, err := RunCells(r, cells)
+	if err != nil {
+		return nil, err
+	}
+	base := rows[0].rep.Fingerprint()
+	for _, rw := range rows[1:] {
+		if fp := rw.rep.Fingerprint(); fp != base {
+			return nil, fmt.Errorf("F8: workers=%d fingerprint %016x != workers=%d fingerprint %016x — sharded run is not deterministic",
+				rw.workers, fp, rows[0].workers, base)
+		}
+	}
+	tab := &metrics.Table{
+		Title: "F8: fleet scale-out — region-sharded simulation by shard workers",
+		Cols: []string{"workers", "epochs", "cross_events", "events_fired",
+			"xfer_granted", "fleet_tickets", "trunk_repairs", "overlay_avail", "fingerprint"},
+		Notes: []string{
+			fmt.Sprintf("%d regions x %d links = %d links fleet-wide; %d overlay trunks",
+				p.Regions, p.LinksPerRegion(), rows[0].links, rows[0].trunks),
+			fmt.Sprintf("%d simulated days, region fault acceleration x%g, trunk x%g",
+				p.Days, p.FaultScale, p.TrunkScale),
+			"identical fingerprints across the sweep are enforced: the epoch barrier",
+			"makes worker count a pure throughput knob, never a results knob",
+		},
+	}
+	for _, rw := range rows {
+		tab.AddRow(rw.workers, rw.rep.Epochs, rw.rep.Exchanged, rw.rep.Fired,
+			rw.rep.Stats.TransfersGranted, rw.rep.Stats.TicketsOpened,
+			rw.rep.TrunkRepairs, fmt.Sprintf("%.6f", rw.rep.OverlayAvail),
+			fmt.Sprintf("%016x", base))
+	}
+	return tab, nil
+}

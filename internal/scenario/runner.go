@@ -3,8 +3,10 @@ package scenario
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Runner executes independent simulation cells across a bounded worker
@@ -20,6 +22,18 @@ type Runner struct {
 	// execution with no goroutines at all.
 	pool  chan struct{}
 	cells *atomic.Int64
+
+	// timings records per-cell wall time for the bench artifact's
+	// slowest-cells attribution; guarded by mu because cells of one split
+	// complete concurrently.
+	mu      sync.Mutex
+	timings []CellTiming
+}
+
+// CellTiming is one cell's harness wall time in the bench artifact.
+type CellTiming struct {
+	Key         string  `json:"key"`
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
 // NewRunner creates a runner with the given pool size. workers <= 0 uses
@@ -113,11 +127,38 @@ func RunCells[T any](r *Runner, cells []Cell[T]) ([]T, error) {
 }
 
 func runCell[T any](r *Runner, c Cell[T]) (T, error) {
+	//lint:allow wallclock harness wall-timing for the bench artifact; never feeds simulation state
+	t0 := time.Now()
 	v, err := c.Run()
+	secs := time.Since(t0).Seconds() //lint:allow wallclock harness wall-timing for the bench artifact
 	r.cells.Add(1)
+	r.mu.Lock()
+	r.timings = append(r.timings, CellTiming{Key: c.Key, WallSeconds: secs})
+	r.mu.Unlock()
 	if err != nil {
 		var zero T
 		return zero, fmt.Errorf("cell %s: %w", c.Key, err)
 	}
 	return v, nil
+}
+
+// SlowestCells returns the n slowest cells run through this runner (ties
+// broken by key so the bench artifact is stable).
+func (r *Runner) SlowestCells(n int) []CellTiming {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]CellTiming(nil), r.timings...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WallSeconds != out[j].WallSeconds {
+			return out[i].WallSeconds > out[j].WallSeconds
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
 }

@@ -35,6 +35,7 @@ func (a Artifact) Render() string {
 // SuiteParams parameterizes the whole experiment suite.
 type SuiteParams struct {
 	Repair  RepairParams
+	Fleet   FleetParams
 	T6Reps  int
 	T6Seed  uint64
 	T8Tasks int
@@ -46,6 +47,7 @@ type SuiteParams struct {
 func DefaultSuiteParams(quick bool) SuiteParams {
 	p := SuiteParams{
 		Repair:  DefaultRepairParams(),
+		Fleet:   DefaultFleetParams(quick),
 		T6Reps:  200,
 		T6Seed:  5,
 		T8Tasks: 400,
@@ -182,6 +184,13 @@ var registry = []Experiment{
 		}
 		return []Artifact{{ID: "R7", Tab: tab}}, nil
 	}},
+	{ID: "F8", Emits: []string{"F8"}, run: func(r *Runner, p SuiteParams) ([]Artifact, error) {
+		tab, err := F8FleetScale(r, p.Fleet)
+		if err != nil {
+			return nil, err
+		}
+		return []Artifact{{ID: "F8", Tab: tab}}, nil
+	}},
 }
 
 // ExperimentIDs returns every selectable artifact id in suite order.
@@ -246,18 +255,26 @@ func Select(ids []string) ([]Experiment, error) {
 type ExperimentBench struct {
 	ID           string  `json:"id"`
 	Cells        int     `json:"cells"`
+	Workers      int     `json:"workers"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	CellsPerSec  float64 `json:"cells_per_sec"`
 	AllocObjects uint64  `json:"alloc_objects"`
 	AllocMBytes  float64 `json:"alloc_mbytes"`
+	// SlowestCells attributes the experiment's wall time to its heaviest
+	// cells (top 3), which is what makes a slow sweep point findable.
+	SlowestCells []CellTiming `json:"slowest_cells,omitempty"`
 }
 
 // Bench is the machine-readable perf artifact (BENCH_experiments.json)
 // the harness emits to seed the repo's performance trajectory.
 type Bench struct {
-	Suite            string            `json:"suite"` // "quick" or "full"
-	Workers          int               `json:"workers"`
+	Suite   string `json:"suite"` // "quick" or "full"
+	Workers int    `json:"workers"`
+	// HostCores is runtime.NumCPU() on the machine that produced the
+	// artifact; GoMaxProcs is the scheduler's actual parallelism bound at
+	// run time (they differ under cgroup CPU limits or GOMAXPROCS).
 	HostCores        int               `json:"host_cores"`
+	GoMaxProcs       int               `json:"gomaxprocs"`
 	TotalCells       int               `json:"total_cells"`
 	TotalWallSeconds float64           `json:"total_wall_seconds"`
 	CellsPerSec      float64           `json:"cells_per_sec"`
@@ -292,9 +309,11 @@ func RunSuite(r *Runner, exps []Experiment, p SuiteParams) ([]Artifact, *Bench, 
 		arts, err := exps[i].run(sub, p)
 		wall := time.Since(t0).Seconds() //lint:allow wallclock harness wall-timing for the bench artifact
 		runtime.ReadMemStats(&m1)
-		eb := ExperimentBench{ID: exps[i].ID, Cells: sub.CellsRun(), WallSeconds: wall,
+		eb := ExperimentBench{ID: exps[i].ID, Cells: sub.CellsRun(), Workers: sub.Workers(),
+			WallSeconds:  wall,
 			AllocObjects: m1.Mallocs - m0.Mallocs,
-			AllocMBytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)}
+			AllocMBytes:  float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20),
+			SlowestCells: sub.SlowestCells(3)}
 		if wall > 0 {
 			eb.CellsPerSec = float64(eb.Cells) / wall
 		}
@@ -323,7 +342,8 @@ func RunSuite(r *Runner, exps []Experiment, p SuiteParams) ([]Artifact, *Bench, 
 	if p.Repair.Quick {
 		suite = "quick"
 	}
-	bench := &Bench{Suite: suite, Workers: r.Workers(), HostCores: runtime.NumCPU()}
+	bench := &Bench{Suite: suite, Workers: r.Workers(), HostCores: runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0)}
 	var arts []Artifact
 	for _, s := range slots {
 		if s.err != nil {

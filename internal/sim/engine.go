@@ -118,6 +118,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// PeekNext returns the instant of the earliest pending event. The second
+// result is false when the queue is empty. The shard coordinator uses this
+// to compute each epoch's horizon without disturbing the queue.
+//
+//selfmaint:hotpath
+func (e *Engine) PeekNext() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
 // SetTracer installs fn to observe every fired event; nil disables tracing.
 func (e *Engine) SetTracer(fn Tracer) { e.tracer = fn }
 
