@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-quick experiments-quick shard-diff ci
+.PHONY: all build test race vet lint fmt fmt-check bench bench-quick experiments-quick shard-diff replay-diff ci
 
 all: build
 
@@ -52,6 +52,24 @@ shard-diff:
 	$(GO) test -run 'TestSingleShardMatchesPlainEngine|TestWorkerCountsByteIdentical' ./internal/sim/
 	$(GO) test -run 'TestFleetWorkerCountsByteIdentical' ./internal/fleet/
 	$(GO) test -run 'TestShardedWorldMatchesPlainBuild|TestFleetScaleOutDeterminism' ./internal/scenario/
+
+# Flight-recorder replay gate: record → replay must reproduce the live
+# report fingerprint byte-for-byte (world, fleet, and R7-table layers), and
+# `maintctl diff` must find divergence between seeds and none within one.
+replay-diff:
+	$(GO) test -run 'TestRoundTripProperty|TestDiffFindsFirstDivergence' ./internal/flightrec/
+	$(GO) test -run 'TestRecordingDoesNotPerturbRun|TestWorldRecordingReplays|TestFleetRecordingReplays|TestR7FromRecordings' -timeout 600s ./internal/scenario/
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) build -o "$$tmp/maintctl" ./cmd/maintctl && \
+	"$$tmp/maintctl" record -o "$$tmp/a.fr" -seed 7 -days 10 > /dev/null && \
+	"$$tmp/maintctl" record -o "$$tmp/a2.fr" -seed 7 -days 10 > /dev/null && \
+	"$$tmp/maintctl" record -o "$$tmp/b.fr" -seed 8 -days 10 > /dev/null && \
+	cmp "$$tmp/a.fr" "$$tmp/a2.fr" && \
+	"$$tmp/maintctl" replay "$$tmp/a.fr" > /dev/null && \
+	"$$tmp/maintctl" diff "$$tmp/a.fr" "$$tmp/a2.fr" > /dev/null && \
+	if "$$tmp/maintctl" diff "$$tmp/a.fr" "$$tmp/b.fr" > /dev/null; then \
+		echo "replay-diff: seeds 7 and 8 produced identical recordings?"; exit 1; \
+	fi && echo "replay-diff: record/replay/diff gate green"
 
 ci:
 	./ci.sh

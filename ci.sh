@@ -26,6 +26,9 @@ go test -race ./...
 echo "== shard-diff (sharded == single-engine, all worker counts)"
 make shard-diff
 
+echo "== replay-diff (flight recorder: record == replay, diff finds divergence)"
+make replay-diff
+
 echo "== bench smoke (routing hot paths, 1 iteration)"
 make bench-quick
 

@@ -11,6 +11,10 @@
 //	experiments -bench-json PATH # write the BENCH perf artifact (timings, cells/sec, allocs)
 //	experiments -cpuprofile F    # write a CPU profile of the suite run
 //	experiments -memprofile F    # write a post-run heap profile (after GC)
+//	experiments -record DIR      # also write flight recordings (R7 per cell, F8 per
+//	                             # sweep point) into DIR
+//	experiments -from-recording DIR # no simulation: regenerate the R7 table from the
+//	                             # recordings in DIR and verify every other capture
 //
 // Every experiment decomposes into independent (experiment × level/policy
 // × seed) simulation cells; the harness fans the cells across a worker
@@ -26,8 +30,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 
+	"repro/internal/flightrec"
 	"repro/internal/scenario"
 )
 
@@ -42,6 +48,8 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "write a BENCH_experiments.json perf artifact to this path")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
+		recordDir = flag.String("record", "", "directory to write flight recordings into (R7 per cell, F8 per sweep point)")
+		fromDir   = flag.String("from-recording", "", "regenerate tables from the recordings in this directory; no simulation")
 	)
 	flag.Parse()
 
@@ -49,6 +57,16 @@ func main() {
 		pprof.StopCPUProfile()
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *fromDir != "" {
+		if *recordDir != "" {
+			fail(fmt.Errorf("-record conflicts with -from-recording: one writes captures, the other consumes them"))
+		}
+		if err := fromRecordings(*fromDir); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	// Validate worker flags up front, before any simulation runs: a bad
@@ -114,6 +132,13 @@ func main() {
 		workers = 1
 	}
 	p := scenario.DefaultSuiteParams(*quick)
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			fail(err)
+		}
+		p.Repair.RecordDir = *recordDir
+		p.Fleet.RecordDir = *recordDir
+	}
 	if *workersN > 0 {
 		// One knob everywhere: the F8 shard-coordinator sweep becomes
 		// {1, N} — the serial baseline stays so the fingerprint equality
@@ -152,6 +177,60 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// fromRecordings regenerates what can be regenerated from a capture
+// directory without simulating: the R7 table is rebuilt from its per-cell
+// recordings (byte-identical to the live render), and every other recording
+// is replayed and verified against its trailer fingerprint.
+func fromRecordings(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var r7Files, others []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".fr") {
+			continue
+		}
+		if strings.HasPrefix(name, "R7-") {
+			r7Files = append(r7Files, name)
+		} else {
+			others = append(others, name)
+		}
+	}
+	sort.Strings(others)
+	if len(r7Files) == 0 && len(others) == 0 {
+		return fmt.Errorf("no .fr recordings in %s (run `experiments -record %s` first)", dir, dir)
+	}
+	if len(r7Files) > 0 {
+		tab, err := scenario.R7FromRecordings(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(scenario.Artifact{ID: "R7", Tab: tab}.Render())
+	}
+	for _, name := range others {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		res, err := flightrec.Replay(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if res.Trailer == nil {
+			return fmt.Errorf("%s: no trailer — recording was interrupted", name)
+		}
+		if !res.Match() {
+			return fmt.Errorf("%s: replay fingerprint %016x != recorded %016x",
+				name, res.Summary.Fingerprint(), res.Trailer.Fingerprint)
+		}
+		fmt.Printf("%s: %d frames, fingerprint %016x, replay verified\n", name, res.Frames, res.Trailer.Fingerprint)
+	}
+	return nil
 }
 
 func writeCSV(dir string, a scenario.Artifact) error {

@@ -1,13 +1,20 @@
 // maintctl is the operator CLI for the robot control API served by robotd
-// (or an embedded robotapi endpoint in selfmaintd).
+// (or an embedded robotapi endpoint in selfmaintd), plus the flight-recorder
+// workflow, which needs no daemon.
 //
-// Subcommands:
+// Daemon subcommands:
 //
 //	maintctl -addr HOST:PORT caps
 //	maintctl -addr HOST:PORT health
 //	maintctl -addr HOST:PORT inject  LINK CAUSE
 //	maintctl -addr HOST:PORT plan    LINK END ACTION
 //	maintctl -addr HOST:PORT execute LINK END ACTION
+//
+// Flight-recorder subcommands (local, no daemon):
+//
+//	maintctl record -o FILE [-seed N] [-level N] [-days N] [-accel X]
+//	maintctl replay FILE
+//	maintctl diff   FILE1 FILE2
 //
 // LINK is a numeric link id (see health output), END is A or B, ACTION is
 // reseat | clean | replace-xcvr, CAUSE is a fault cause name.
@@ -34,6 +41,20 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// The flight-recorder subcommands run locally; dispatch them before
+	// dialing any daemon.
+	switch args[0] {
+	case "record":
+		cmdRecord(args[1:])
+		return
+	case "replay":
+		cmdReplay(args[1:])
+		return
+	case "diff":
+		cmdDiff(args[1:])
+		return
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -153,6 +174,11 @@ func usage() {
   health                    observable link health
   inject  LINK CAUSE        force a fault (demo)
   plan    LINK END ACTION   pre-motion report: contacted cables, duration
-  execute LINK END ACTION   run the repair task`)
+  execute LINK END ACTION   run the repair task
+flight recorder (local, no daemon):
+  record -o FILE [-seed N] [-level N] [-days N] [-accel X]
+                            simulate a cluster and record the event stream
+  replay FILE               replay a recording; verify the fingerprint
+  diff   FILE1 FILE2        locate the first divergent frame of two recordings`)
 	os.Exit(2)
 }

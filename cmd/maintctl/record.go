@@ -1,0 +1,128 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/flightrec"
+	"repro/selfmaint"
+)
+
+// cmdRecord simulates a cluster locally and streams its full event history
+// to a flight recording. The run is deterministic: record twice with the
+// same flags and the files are byte-identical; change the seed and `maintctl
+// diff` pinpoints the first divergent frame.
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("o", "", "output recording file (required)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	level := fs.Int("level", 3, "automation level (0-4)")
+	days := fs.Int("days", 30, "simulated days")
+	accel := fs.Float64("accel", 20, "fault acceleration factor")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("record: -o FILE is required"))
+	}
+	if *level < 0 || *level > 4 {
+		fatal(fmt.Errorf("record: level %d out of range 0-4", *level))
+	}
+	if *days <= 0 {
+		fatal(fmt.Errorf("record: days must be positive"))
+	}
+
+	c, err := selfmaint.NewCluster(
+		selfmaint.WithSeed(*seed),
+		selfmaint.WithLevel(selfmaint.Level(*level)),
+		selfmaint.WithRobots(),
+		selfmaint.WithTechnicians(2),
+		selfmaint.WithFaultAcceleration(*accel),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	rec, err := c.RecordTo(f, map[string]string{
+		"tool":  "maintctl",
+		"seed":  fmt.Sprintf("%d", *seed),
+		"level": fmt.Sprintf("L%d", *level),
+		"days":  fmt.Sprintf("%d", *days),
+		"accel": fmt.Sprintf("%g", *accel),
+	}, 6*selfmaint.Hour)
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	c.Run(selfmaint.Time(*days) * selfmaint.Day)
+	sum, err := rec.Close()
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d frames to %s (fingerprint %016x)\n", sum.Frames(), *out, sum.Fingerprint())
+}
+
+// cmdReplay re-derives the run summary from a recording alone and verifies
+// it against the fingerprint the live run stamped in the trailer. Exit 0 on
+// match, 1 on mismatch or error.
+func cmdReplay(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	res, err := flightrec.Replay(f)
+	if err != nil {
+		fatal(err)
+	}
+	if res.Trailer == nil {
+		fatal(fmt.Errorf("%s: no trailer — recording was interrupted", args[0]))
+	}
+	fmt.Printf("%d frames, %d metadata keys\n", res.Frames, len(res.Meta))
+	fmt.Printf("recorded fingerprint %016x\n", res.Trailer.Fingerprint)
+	fmt.Printf("replayed fingerprint %016x\n", res.Summary.Fingerprint())
+	if !res.Match() {
+		fatal(fmt.Errorf("MISMATCH: replay does not reproduce the recorded run"))
+	}
+	fmt.Println("match: replay reproduces the recorded run")
+}
+
+// cmdDiff streams two recordings in lockstep and reports the first
+// divergent frame. Exit 0 when identical, 1 on divergence, 2 on error.
+func cmdDiff(args []string) {
+	if len(args) != 2 {
+		usage()
+	}
+	a, err := os.Open(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maintctl:", err)
+		os.Exit(2)
+	}
+	defer a.Close()
+	b, err := os.Open(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maintctl:", err)
+		os.Exit(2)
+	}
+	defer b.Close()
+	d, err := flightrec.Diff(a, b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "maintctl:", err)
+		os.Exit(2)
+	}
+	if d == nil {
+		fmt.Println("identical: recordings agree frame for frame")
+		return
+	}
+	fmt.Println(d)
+	os.Exit(1)
+}

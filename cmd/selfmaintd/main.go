@@ -14,16 +14,22 @@
 //	selfmaintd -listen 127.0.0.1:7800 -pace 3600 &
 //	curl -s 127.0.0.1:7800/status | head
 //
-// pace is virtual seconds advanced per wall-clock second.
+// pace is virtual seconds advanced per wall-clock second. With -record FILE
+// the daemon streams its full event history to a flight recording, closed
+// cleanly (trailer + fingerprint) on SIGINT/SIGTERM; replay it with
+// `maintctl replay FILE`.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/faults"
@@ -41,9 +47,12 @@ type server struct {
 }
 
 // eventRing keeps the most recent pipeline events. The bus tap that fills
-// it fires synchronously inside Run, so server.mu already guards it.
+// it fires synchronously inside Run, so server.mu already guards it. The
+// ring retains the typed events as published; rendering to JSON rows
+// happens at request time, keeping the per-event tap cost to one slot
+// assignment (see BenchmarkEventTap).
 type eventRing struct {
-	buf  []eventRow
+	buf  []selfmaint.Event
 	next int
 	full bool
 }
@@ -56,25 +65,31 @@ type eventRow struct {
 }
 
 func (r *eventRing) add(ev selfmaint.Event) {
-	row := eventRow{At: ev.At.String(), Seq: ev.Seq,
-		Topic: string(ev.Topic), Payload: fmt.Sprint(ev.Payload)}
 	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, row)
+		r.buf = append(r.buf, ev)
 		return
 	}
-	r.buf[r.next] = row
+	r.buf[r.next] = ev
 	r.next = (r.next + 1) % len(r.buf)
 	r.full = true
 }
 
-// all returns the retained events oldest-first.
+// all renders the retained events oldest-first. Never nil: an empty ring is
+// an empty JSON array, not null.
 func (r *eventRing) all() []eventRow {
-	if !r.full {
-		return append([]eventRow(nil), r.buf...)
+	var evs []selfmaint.Event
+	if r.full {
+		evs = append(evs, r.buf[r.next:]...)
+		evs = append(evs, r.buf[:r.next]...)
+	} else {
+		evs = r.buf
 	}
-	out := make([]eventRow, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	return append(out, r.buf[:r.next]...)
+	rows := make([]eventRow, 0, len(evs))
+	for _, ev := range evs {
+		rows = append(rows, eventRow{At: ev.At.String(), Seq: ev.Seq,
+			Topic: string(ev.Topic), Payload: fmt.Sprint(ev.Payload)})
+	}
+	return rows
 }
 
 func (s *server) step(d sim.Time) {
@@ -118,7 +133,7 @@ func (s *server) tickets(w http.ResponseWriter, r *http.Request) {
 		Window   string `json:"window,omitempty"`
 		Attempts int    `json:"attempts"`
 	}
-	var rows []row
+	rows := []row{} // empty list must encode as [], not null
 	for _, t := range s.c.World().Store.All() {
 		rw := row{ID: t.ID, Link: t.Link.Name(), Kind: t.Kind.String(),
 			Status: t.Status.String(), Attempts: len(t.Attempts)}
@@ -141,6 +156,9 @@ func (s *server) log(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	lines := s.c.DecisionLog(200)
 	s.mu.Unlock()
+	if lines == nil {
+		lines = []string{} // empty log must encode as [], not null
+	}
 	writeJSON(w, lines)
 }
 
@@ -160,11 +178,17 @@ func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// writeJSON marshals before touching the ResponseWriter, so an encoding
+// failure can still become a 500 instead of a silently truncated 200.
 func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Printf("selfmaintd: encoding response: %v", err)
+		http.Error(w, "internal error: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	w.Write(append(data, '\n'))
 }
 
 func main() {
@@ -174,6 +198,7 @@ func main() {
 		pace   = flag.Float64("pace", 3600, "virtual seconds per wall second")
 		accel  = flag.Float64("accel", 20, "fault acceleration")
 		seed   = flag.Uint64("seed", 1, "seed")
+		record = flag.String("record", "", "write a flight recording of the run to this file")
 	)
 	flag.Parse()
 
@@ -189,8 +214,46 @@ func main() {
 		os.Exit(1)
 	}
 	srv := &server{c: c}
-	srv.events.buf = make([]eventRow, 0, 1024)
+	srv.events.buf = make([]selfmaint.Event, 0, 1024)
 	c.TapEvents(srv.events.add)
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfmaintd:", err)
+			os.Exit(1)
+		}
+		recd, err := c.RecordTo(f, map[string]string{
+			"tool":  "selfmaintd",
+			"seed":  fmt.Sprintf("%d", *seed),
+			"level": fmt.Sprintf("L%d", *level),
+			"accel": fmt.Sprintf("%g", *accel),
+		}, sim.Hour)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "selfmaintd:", err)
+			os.Exit(1)
+		}
+		// The trailer is what makes the file replayable; close the
+		// recording cleanly when the daemon is interrupted.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			srv.mu.Lock()
+			sum, err := recd.Close()
+			srv.mu.Unlock()
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "selfmaintd: closing recording:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("selfmaintd: recorded %d frames to %s (fingerprint %016x)\n",
+				sum.Frames(), *record, sum.Fingerprint())
+			os.Exit(0)
+		}()
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", srv.status)

@@ -68,6 +68,51 @@ func TestJournalTruncatesAtCapacity(t *testing.T) {
 	}
 }
 
+// TestJournalTailAtExactCapacity covers the boundary where add has filled
+// every slot and reset next to 0: the ring is full but nothing has been
+// overwritten yet, and tail must not drop or duplicate the entry at the
+// wrap point.
+func TestJournalTailAtExactCapacity(t *testing.T) {
+	var j journal
+	for i := 0; i < journalCap; i++ {
+		j.add(entry(i))
+	}
+	if !j.full || j.next != 0 {
+		t.Fatalf("after %d adds: full=%v next=%d, want full=true next=0", journalCap, j.full, j.next)
+	}
+	all := j.tail(0)
+	if len(all) != journalCap {
+		t.Fatalf("tail(0) = %d entries, want %d", len(all), journalCap)
+	}
+	if all[0].Ticket != 0 || all[journalCap-1].Ticket != journalCap-1 {
+		t.Fatalf("exactly-full tail spans %d..%d, want 0..%d",
+			all[0].Ticket, all[journalCap-1].Ticket, journalCap-1)
+	}
+}
+
+// TestJournalTailLimitAcrossWrap asks for a tail that straddles the ring's
+// next pointer: after wrapping, the newest entries live before next and the
+// oldest after it, and an n-limited tail must splice them in time order.
+func TestJournalTailLimitAcrossWrap(t *testing.T) {
+	var j journal
+	const extra = 3
+	for i := 0; i < journalCap+extra; i++ {
+		j.add(entry(i))
+	}
+	// next == extra: slots [extra:] hold the older half, [:extra] the newest
+	// three. A 10-entry tail needs 7 from before the boundary and 3 after.
+	got := j.tail(10)
+	if len(got) != 10 {
+		t.Fatalf("tail(10) = %d entries, want 10", len(got))
+	}
+	want := journalCap + extra - 10
+	for i, e := range got {
+		if e.Ticket != want+i {
+			t.Fatalf("tail(10)[%d].Ticket = %d, want %d", i, e.Ticket, want+i)
+		}
+	}
+}
+
 // TestJournalTailIsACopy verifies that mutating a returned slice cannot
 // corrupt the ring.
 func TestJournalTailIsACopy(t *testing.T) {

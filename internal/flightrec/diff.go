@@ -1,0 +1,78 @@
+package flightrec
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Divergence locates the first frame where two recordings disagree — the
+// bisection primitive for "same seed, different output" investigations.
+// Metadata differences are reported but are not by themselves divergence:
+// diffing seed A against seed B is the point.
+type Divergence struct {
+	Index  uint64 // frame ordinal (0-based) where the streams part
+	Epoch  uint64 // last epoch barrier both streams agreed on
+	AAt    sim.Time
+	BAt    sim.Time
+	A      string // canonical render of stream a's frame, or "<end of recording>"
+	B      string
+	Reason string
+}
+
+// String renders the human-readable locator.
+func (d *Divergence) String() string {
+	return fmt.Sprintf("first divergence at frame %d (after epoch %d): %s\n  a [%v] %s\n  b [%v] %s",
+		d.Index, d.Epoch, d.Reason, d.AAt, d.A, d.BAt, d.B)
+}
+
+const endMarker = "<end of recording>"
+
+// Diff streams two recordings in lockstep and returns the first divergent
+// frame, or nil when they are frame-for-frame identical (the trailer is
+// compared too, so identical streams also agree on fingerprint). Frames
+// are compared by canonical render, which includes exact nanosecond times
+// and sequence numbers.
+func Diff(a, b io.Reader) (*Divergence, error) {
+	ra, err := NewReader(a)
+	if err != nil {
+		return nil, fmt.Errorf("a: %w", err)
+	}
+	rb, err := NewReader(b)
+	if err != nil {
+		return nil, fmt.Errorf("b: %w", err)
+	}
+	var epoch uint64
+	var index uint64
+	for {
+		fa, ea := ra.Next()
+		fb, eb := rb.Next()
+		aEnd, bEnd := ea == io.EOF, eb == io.EOF
+		if ea != nil && !aEnd {
+			return nil, fmt.Errorf("a: %w", ea)
+		}
+		if eb != nil && !bEnd {
+			return nil, fmt.Errorf("b: %w", eb)
+		}
+		switch {
+		case aEnd && bEnd:
+			return nil, nil
+		case aEnd:
+			return &Divergence{Index: index, Epoch: epoch, BAt: fb.At,
+				A: endMarker, B: fb.String(), Reason: "a ended early"}, nil
+		case bEnd:
+			return &Divergence{Index: index, Epoch: epoch, AAt: fa.At,
+				A: fa.String(), B: endMarker, Reason: "b ended early"}, nil
+		}
+		sa, sb := fa.String(), fb.String()
+		if sa != sb {
+			return &Divergence{Index: index, Epoch: epoch, AAt: fa.At, BAt: fb.At,
+				A: sa, B: sb, Reason: "frame mismatch"}, nil
+		}
+		if fa.Kind == KindEpoch {
+			epoch = fa.Epoch
+		}
+		index++
+	}
+}

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"repro/internal/core"
@@ -78,6 +80,11 @@ type FleetParams struct {
 	// Workers is the shard-worker sweep; 0 entries mean runtime.NumCPU().
 	// Duplicates (after substitution) collapse.
 	Workers []int
+
+	// RecordDir, when set, makes F8 write one flight recording per sweep
+	// point (F8-workers<n>.fr): shard-tagged frames merged in epoch-barrier
+	// order, byte-identical at every worker count.
+	RecordDir string
 }
 
 // DefaultFleetParams returns the full-size F8 configuration — 100
@@ -214,12 +221,45 @@ func F8FleetScale(r *Runner, p FleetParams) (*metrics.Table, error) {
 				if err != nil {
 					return row{}, err
 				}
+				var frec *fleetRecording
+				var out *os.File
+				if p.RecordDir != "" {
+					out, err = os.Create(filepath.Join(p.RecordDir, fmt.Sprintf("F8-workers%d.fr", w)))
+					if err != nil {
+						return row{}, err
+					}
+					// Worker count is deliberately absent from the metadata:
+					// it is a throughput knob, not part of the run, so every
+					// sweep point's capture is byte-identical.
+					frec, err = startFleetRecording(f, regions, out, map[string]string{
+						"experiment": "F8",
+						"seed":       fmt.Sprintf("%d", p.Seed),
+						"regions":    fmt.Sprintf("%d", p.Regions),
+						"days":       fmt.Sprintf("%d", p.Days),
+						"faultscale": fmt.Sprintf("%g", p.FaultScale),
+						"trunkscale": fmt.Sprintf("%g", p.TrunkScale),
+					})
+					if err != nil {
+						out.Close()
+						return row{}, err
+					}
+				}
 				f.Run(sim.Time(p.Days) * sim.Day)
 				links := 0
 				for _, fr := range regions {
 					links += len(fr.w.Net.Links)
 				}
-				return row{workers: w, rep: f.Report(), trunks: f.Overlay.Trunks(), links: links}, nil
+				rep := f.Report()
+				if frec != nil {
+					if _, err := frec.Close(rep); err != nil {
+						out.Close()
+						return row{}, err
+					}
+					if err := out.Close(); err != nil {
+						return row{}, err
+					}
+				}
+				return row{workers: w, rep: rep, trunks: f.Overlay.Trunks(), links: links}, nil
 			},
 		}
 	}

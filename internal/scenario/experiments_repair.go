@@ -17,6 +17,11 @@ type RepairParams struct {
 	FaultScale float64
 	Seeds      []uint64
 	Quick      bool // use the small hall
+
+	// RecordDir, when set, makes R7 write one flight recording per cell
+	// (R7-<level>-chaos<rate>-seed<seed>.fr) into the directory;
+	// R7FromRecordings regenerates the identical table from those files.
+	RecordDir string
 }
 
 // DefaultRepairParams is one accelerated year on the standard hall.

@@ -38,6 +38,7 @@ type MultiEngine struct {
 	now       Time // barrier clock: the horizon of the last completed epoch
 	epochs    uint64
 	exchanged uint64
+	onBarrier func(epoch uint64, now Time)
 }
 
 // Shard is one region's slot in a MultiEngine: its engine plus the outbox
@@ -127,6 +128,17 @@ func (me *MultiEngine) Fired() uint64 {
 	return n
 }
 
+// SetBarrierHook installs fn to run on the coordinator's goroutine at the
+// end of every epoch barrier — after all shards have drained to the horizon
+// and the exchange has been applied, while no shard goroutine is running.
+// Observers (the flight recorder's merge point) use it to drain per-shard
+// buffers in a deterministic order. The hook must not schedule events or
+// touch shard model state; it sees epoch numbers and horizons only, both of
+// which are pure functions of simulation state, never of worker count.
+func (me *MultiEngine) SetBarrierHook(fn func(epoch uint64, now Time)) {
+	me.onBarrier = fn
+}
+
 // Shard returns shard i. Model code must not use this to reach a foreign
 // shard's engine mid-run; it exists for build-time wiring (the crossshard
 // analyzer audits every use outside package sim).
@@ -191,6 +203,9 @@ func (me *MultiEngine) RunUntil(deadline Time) {
 		me.runEpoch(horizon)
 		me.exchange()
 		me.now = horizon
+		if me.onBarrier != nil {
+			me.onBarrier(me.epochs, me.now)
+		}
 	}
 	if deadline != Forever {
 		for _, s := range me.shards {

@@ -190,3 +190,60 @@ func TestShardSeedFamilies(t *testing.T) {
 		t.Fatalf("ShardSeed(99, 0) = %d, want 99", ShardSeed(99, 0))
 	}
 }
+
+// TestBarrierHook pins the observer contract: the hook fires once per
+// epoch on the coordinator's goroutine with monotonically increasing epoch
+// numbers and horizons, its trace is identical at every worker count, and
+// clearing it stops further callbacks.
+func TestBarrierHook(t *testing.T) {
+	run := func(workers int) (string, uint64) {
+		me := NewMultiEngine(7, 4, 10*Minute, workers)
+		toyShardModel(me, 3*Minute, true)
+		var trace strings.Builder
+		var lastEpoch uint64
+		var lastNow Time = -1
+		me.SetBarrierHook(func(epoch uint64, now Time) {
+			if epoch != lastEpoch+1 {
+				t.Errorf("workers=%d: epoch %d after %d, want consecutive", workers, epoch, lastEpoch)
+			}
+			if now <= lastNow {
+				t.Errorf("workers=%d: horizon %v after %v, want increasing", workers, now, lastNow)
+			}
+			if now != me.Now() {
+				t.Errorf("workers=%d: hook now %v != me.Now() %v", workers, now, me.Now())
+			}
+			lastEpoch, lastNow = epoch, now
+			fmt.Fprintf(&trace, "epoch=%d now=%v\n", epoch, now)
+		})
+		me.RunUntil(4 * Hour)
+		if lastEpoch != me.Epochs() {
+			t.Errorf("workers=%d: hook fired %d times over %d epochs", workers, lastEpoch, me.Epochs())
+		}
+		return trace.String(), lastEpoch
+	}
+	base, epochs := run(1)
+	if epochs == 0 {
+		t.Fatal("no epochs ran; the test is vacuous")
+	}
+	for _, w := range []int{2, 4} {
+		if got, _ := run(w); got != base {
+			t.Fatalf("workers=%d barrier trace differs from workers=1", w)
+		}
+	}
+
+	// Clearing the hook stops callbacks without disturbing the run.
+	me := NewMultiEngine(7, 2, 10*Minute, 1)
+	toyShardModel(me, 3*Minute, false)
+	fired := 0
+	me.SetBarrierHook(func(uint64, Time) { fired++ })
+	me.RunUntil(1 * Hour)
+	if fired == 0 {
+		t.Fatal("hook never fired")
+	}
+	me.SetBarrierHook(nil)
+	before := fired
+	me.RunUntil(2 * Hour)
+	if fired != before {
+		t.Fatalf("hook fired %d more times after being cleared", fired-before)
+	}
+}

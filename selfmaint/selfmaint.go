@@ -22,6 +22,7 @@ package selfmaint
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/core"
@@ -331,6 +332,20 @@ func (c *Cluster) ServiceWindowCDF(points int) (hours, frac []float64) {
 // World exposes the underlying wired world for advanced scenarios (the
 // experiment harness uses it). Most users never need it.
 func (c *Cluster) World() *scenario.World { return c.w }
+
+// Recording is an attached flight recorder; see RecordTo.
+type Recording = scenario.Recording
+
+// RecordTo attaches a flight recorder to the cluster: every bus event plus
+// periodic metric snapshots (when snapshotEvery > 0) stream to w in the
+// flightrec binary format, and Close appends the end-of-run scalars and a
+// fingerprint trailer. Recording is passive — a recorded run produces
+// byte-for-byte the same Report as an unrecorded one. meta is free-form
+// run identification (seed, level, config digest) stored in the file
+// header. Call (*Recording).Close before reading the output.
+func (c *Cluster) RecordTo(w io.Writer, meta map[string]string, snapshotEvery Time) (*Recording, error) {
+	return c.w.StartRecording(w, meta, snapshotEvery)
+}
 
 // Histogram re-exports the metrics histogram for custom analyses.
 type Histogram = metrics.Histogram
