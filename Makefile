@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-quick experiments-quick shard-diff replay-diff ci
+.PHONY: all build test race vet lint fmt fmt-check bench bench-quick bench-diff experiments-quick shard-diff replay-diff ci
 
 all: build
 
@@ -37,7 +37,16 @@ bench:
 # incremental-invalidation and zero-alloc paths still build and run in CI.
 # Real numbers come from `make bench`.
 bench-quick:
-	$(GO) test -run '^$$' -bench 'BenchmarkRouterFlapChurn|BenchmarkEvaluateSteadyState' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkRouterFlapChurn|BenchmarkEvaluateSteadyState|BenchmarkUniformEvaluate' -benchtime=1x .
+
+# Performance-regression gate: regenerate the quick-suite BENCH artifact and
+# diff it against the committed baseline; any experiment more than 25%
+# slower (or allocating 25% more) than the baseline fails the build. Refresh
+# the baseline with `make bench` after intentional performance changes.
+bench-diff:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/experiments -quick -serial -bench-json "$$tmp/bench.json" > /dev/null && \
+	$(GO) run ./cmd/benchdiff BENCH_experiments.json "$$tmp/bench.json"
 
 # Smoke-run the quick experiment suite on all host cores (output discarded;
 # the determinism tests cover correctness, this covers the CLI path).

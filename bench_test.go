@@ -302,6 +302,65 @@ func BenchmarkRouterFlapChurn(b *testing.B) {
 	})
 }
 
+// BenchmarkUniformEvaluate measures full-injection uniform evaluation on
+// the F4 xpander build — the maintindex probe that dominated the quick
+// suite before the destination-rooted engine. Sub-benchmarks cover the cold
+// path (every destination rebuilt), the maintindex-style drain/undrain
+// sweep step (shelved structures restore via the subgraph signature), and
+// the warm steady state (zero allocations).
+func BenchmarkUniformEvaluate(b *testing.B) {
+	net, err := topology.NewXpander(topology.XpanderConfig{
+		Degree: 9, Lift: 2, HostsPerSwitch: 8,
+		FabricGbps: 100, HostGbps: 100, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var offered float64
+	for _, h := range net.Hosts() {
+		for _, p := range h.Ports {
+			if p.Link != nil {
+				offered += p.Link.GbpsCap
+			}
+		}
+	}
+	tm := routing.UniformMatrix(net, offered)
+	b.Run("cold", func(b *testing.B) {
+		r := routing.NewRouter(net, nil)
+		var ws routing.Workspace
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Invalidate()
+			_ = r.EvaluateInto(&ws, tm)
+		}
+	})
+	b.Run("drain-sweep-step", func(b *testing.B) {
+		r := routing.NewRouter(net, nil)
+		var ws routing.Workspace
+		l := net.SwitchLinks()[0]
+		r.EvaluateInto(&ws, tm) // warm
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Drain(l.ID)
+			_ = r.EvaluateInto(&ws, tm)
+			r.Undrain(l.ID)
+			_ = r.EvaluateInto(&ws, tm)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		r := routing.NewRouter(net, nil)
+		var ws routing.Workspace
+		r.EvaluateInto(&ws, tm)
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = r.EvaluateInto(&ws, tm)
+		}
+	})
+}
+
 // BenchmarkTopologyBuild measures fabric construction.
 func BenchmarkTopologyBuild(b *testing.B) {
 	b.ReportAllocs()

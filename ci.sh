@@ -32,6 +32,9 @@ make replay-diff
 echo "== bench smoke (routing hot paths, 1 iteration)"
 make bench-quick
 
+echo "== bench-diff (quick suite vs committed BENCH baseline, 25% gate)"
+make bench-diff
+
 echo "== experiments smoke (quick suite, parallel)"
 make experiments-quick
 

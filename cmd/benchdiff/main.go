@@ -1,0 +1,129 @@
+// Command benchdiff compares a freshly generated BENCH_experiments.json
+// against the committed baseline and fails when any experiment regressed by
+// more than the allowed fraction in wall time or allocated bytes — the CI
+// gate that keeps the suite's performance trajectory monotone.
+//
+//	benchdiff [-max-regress 0.25] baseline.json fresh.json
+//
+// Wall time on sub-200ms experiments is dominated by scheduler and GC
+// noise, so the wall check applies only when the baseline spent at least
+// 0.2s; likewise an allocation increase under 8 MB is never flagged. Both
+// floors keep the gate meaningful on the quick suite without turning timer
+// jitter into CI flakes. Improvements are reported but never fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+const (
+	wallFloorSeconds = 0.2
+	allocFloorMB     = 8.0
+)
+
+func load(path string) (*scenario.Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b scenario.Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.25,
+		"maximum allowed fractional regression per experiment (wall time or allocated MB)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [-max-regress frac] baseline.json fresh.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	baseByID := make(map[string]scenario.ExperimentBench, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseByID[e.ID] = e
+	}
+
+	failed := false
+	for _, f := range fresh.Experiments {
+		b, ok := baseByID[f.ID]
+		if !ok {
+			fmt.Printf("  %-4s new experiment (no baseline): wall %.2fs alloc %.1fMB\n",
+				f.ID, f.WallSeconds, f.AllocMBytes)
+			continue
+		}
+		wallDelta := ratio(f.WallSeconds, b.WallSeconds)
+		allocDelta := ratio(f.AllocMBytes, b.AllocMBytes)
+		status := "ok"
+		if b.WallSeconds >= wallFloorSeconds && wallDelta > *maxRegress {
+			status = "WALL REGRESSION"
+			failed = true
+		}
+		if f.AllocMBytes-b.AllocMBytes >= allocFloorMB && allocDelta > *maxRegress {
+			if status == "ok" {
+				status = "ALLOC REGRESSION"
+			} else {
+				status += " + ALLOC REGRESSION"
+			}
+			failed = true
+		}
+		fmt.Printf("  %-4s wall %6.2fs -> %6.2fs (%+6.1f%%)  alloc %8.1fMB -> %8.1fMB (%+6.1f%%)  %s\n",
+			f.ID, b.WallSeconds, f.WallSeconds, 100*wallDelta,
+			b.AllocMBytes, f.AllocMBytes, 100*allocDelta, status)
+	}
+	for _, b := range base.Experiments {
+		found := false
+		for _, f := range fresh.Experiments {
+			if f.ID == b.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Printf("  %-4s missing from fresh run\n", b.ID)
+			failed = true
+		}
+	}
+
+	fmt.Printf("total: wall %.2fs -> %.2fs, alloc %.1fMB -> %.1fMB\n",
+		base.TotalWallSeconds, fresh.TotalWallSeconds,
+		base.TotalAllocMBytes, fresh.TotalAllocMBytes)
+	if failed {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+// ratio returns the fractional change from old to new (0 when old is 0:
+// a previously free experiment has no meaningful baseline to regress from;
+// the absolute floors still bound its growth).
+func ratio(new, old float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return new/old - 1
+}

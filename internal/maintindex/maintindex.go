@@ -62,7 +62,12 @@ type Report struct {
 	// ThroughputNorm is the satisfied fraction of a full-injection uniform
 	// traffic matrix — the efficiency axis of the tradeoff plot.
 	ThroughputNorm float64
-	FabricLinks    int
+	// OfferedGbps and SatisfiedGbps are the absolute rates behind
+	// ThroughputNorm's fraction, so consumers needing per-switch or
+	// per-host goodput do not have to re-run the uniform probe.
+	OfferedGbps   float64
+	SatisfiedGbps float64
+	FabricLinks   int
 }
 
 // String renders a one-line summary.
@@ -82,6 +87,10 @@ type Config struct {
 	// UniformLoadGbps is the total offered load for the throughput probe;
 	// 0 derives full injection from host NIC speeds.
 	UniformLoadGbps float64
+	// Workers bounds the goroutines the routing engine may use to rebuild
+	// per-destination state during the probe and drain sweep (0 = serial).
+	// A throughput knob only: the report is identical at any setting.
+	Workers int
 }
 
 // DefaultConfig samples up to 24 drains and uses full host injection.
@@ -155,9 +164,13 @@ func Evaluate(net *topology.Network, cfg Config) Report {
 		}
 	}
 	router := routing.NewRouter(net, nil)
+	router.Workers = cfg.Workers
 	tm := routing.UniformMatrix(net, load)
 	var ws routing.Workspace
-	rep.ThroughputNorm = router.EvaluateInto(&ws, tm).Availability()
+	base := router.EvaluateInto(&ws, tm)
+	rep.ThroughputNorm = base.Availability()
+	rep.OfferedGbps = base.OfferedGbps
+	rep.SatisfiedGbps = base.SatisfiedGbps
 
 	samples := cfg.DrainSamples
 	if samples <= 0 {
@@ -170,8 +183,10 @@ func Evaluate(net *topology.Network, cfg Config) Report {
 	var drainSum float64
 	drains := 0
 	// Each drain/undrain pair invalidates only the cache entries whose
-	// shortest paths crossed the drained link, so the sweep reuses most of
-	// the routing state across samples instead of rebuilding it per drain.
+	// shortest paths crossed the drained link, and the destination-rooted
+	// engine shelves displaced per-destination structures keyed by subgraph
+	// signature — every undrain restores the pre-drain arenas wholesale, so
+	// the sweep re-enumerates only what each drain actually changed.
 	for i := 0; i < len(fabric); i += step {
 		l := fabric[i]
 		router.Drain(l.ID)

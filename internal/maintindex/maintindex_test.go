@@ -116,3 +116,22 @@ func TestDeterministic(t *testing.T) {
 		t.Fatal("evaluation not deterministic")
 	}
 }
+
+// Workers is a throughput knob for the routing engine's rebuilds, never a
+// results knob: the full report — throughput probe, absolute rates, and
+// the 24-sample drain sweep — must be identical at any worker count.
+func TestWorkersDoNotChangeReport(t *testing.T) {
+	for _, kind := range []string{"fattree", "xpander"} {
+		serial := Evaluate(build(t, kind), DefaultConfig())
+		if serial.OfferedGbps <= 0 || serial.SatisfiedGbps <= 0 {
+			t.Fatalf("%s: absolute probe rates not populated: %+v", kind, serial)
+		}
+		for _, w := range []int{2, 8} {
+			cfg := DefaultConfig()
+			cfg.Workers = w
+			if got := Evaluate(build(t, kind), cfg); got != serial {
+				t.Fatalf("%s workers=%d: report %+v != serial %+v", kind, w, got, serial)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Destination-rooted ECMP evaluation: the engine behind EvaluateInto.
+//
+// The per-pair enumerator (paths, kept as the reference implementation and
+// for single-pair consumers like the latency model) re-runs a recursive DFS
+// over the ECMP DAG for every (src,dst) demand and allocates every path as
+// its own slice. Under full uniform injection that is O(sources) DFS walks
+// per destination and millions of small allocations per assessment — the F4
+// bottleneck.
+//
+// The destination-rooted engine serves all sources of one destination off a
+// single shared structure: for each destination it memoizes, per device, the
+// list of path suffixes from that device to the destination over the ECMP
+// DAG. Devices are processed in ascending BFS distance, so every suffix is
+// one link prepended to an already-materialized suffix of the next hop.
+// Enumeration follows the exact adjacency order the per-pair DFS uses, and
+// each device's suffix list is capped at MaxPaths — which preserves the
+// per-pair path lists bit-for-bit: the first MaxPaths paths of the DFS
+// concatenation consume at most the first MaxPaths suffixes of each
+// downstream device, so truncating suffix lists at MaxPaths loses nothing
+// (see TestDestRootedMatchesPerPairEnumerator).
+//
+// All suffixes of one destination live in a single flat arena (one backing
+// []*topology.Link; per-device offset spans) instead of individually
+// allocated path slices, so a warm evaluation allocates nothing and a
+// rebuild reuses the retained arena.
+//
+// Incremental maintenance extends the router's per-link invalidation: a
+// link transition that can change a destination's DAG shelves that
+// destination's structure instead of discarding it, stamped with the
+// subgraph signature (a Zobrist hash over usable links) it was built under.
+// When the subgraph returns to that exact signature — an undrain restoring
+// the pre-drain fabric, the maintindex sweep's every other step — the
+// shelved structure is restored wholesale, with no re-enumeration at all.
+//
+// Rebuilds are independent per destination (pure functions of the distance
+// field, adjacency order and the usable set), so they shard across Workers
+// goroutines; worker count is a throughput knob, never a results knob. The
+// demand-order accumulation loops in EvaluateInto are untouched, so every
+// float summation order — and therefore the Assessment — is byte-identical
+// to the per-pair enumerator at any worker count.
+package routing
+
+import (
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// destState is the destination-rooted ECMP structure for one destination:
+// for every device, the device's shortest-path suffixes toward the
+// destination, laid out contiguously in one arena. Device d's suffixes are
+// count[d] runs of plen[d] links each, starting at arena[start[d]]; plen[d]
+// is d's BFS distance to the destination at build time.
+type destState struct {
+	stamp uint64 // distance-field stamp the structure was built over
+	sig   uint64 // subgraph signature at build time (see subgraphSig)
+	arena []*topology.Link
+	start []int32
+	count []int32
+	plen  []int32
+}
+
+// buildJob is one pending destination rebuild, resolved in prepareDests and
+// executed by buildDest (possibly on a worker goroutine).
+type buildJob struct {
+	dst topology.DeviceID
+	ds  *destState
+	e   distEntry
+}
+
+// destBuilder is per-worker scratch for buildDest: the counting-sort
+// buffers that order devices by ascending BFS distance.
+type destBuilder struct {
+	order  []topology.DeviceID
+	bucket []int32
+}
+
+// growInt32 returns s with length n and all elements zero, reusing the
+// backing array when capacity allows.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// destLinkSig returns the Zobrist contribution of one link to the subgraph
+// signature (SplitMix64 of the link ID; deterministic across runs, so
+// signatures are replay-safe).
+func destLinkSig(id topology.LinkID) uint64 {
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// recomputeSubgraphSig derives the signature from the lastUsable snapshot —
+// the fallback Invalidate and NewRouter use; single-link transitions
+// maintain it incrementally in InvalidateLink.
+func (r *Router) recomputeSubgraphSig() {
+	var sig uint64
+	for id, u := range r.lastUsable {
+		if u {
+			sig ^= destLinkSig(topology.LinkID(id))
+		}
+	}
+	r.subgraphSig = sig
+}
+
+// shelveDest retires dst's current structure after a transition that may
+// have changed its DAG. The structure is moved to the one-slot shelf rather
+// than discarded: if the subgraph later returns to the structure's build
+// signature (undraining the link it was drained around), it is restored
+// without re-enumeration. When the shelf already holds a structure whose
+// signature matches the subgraph we just arrived at — the undrain case,
+// where the shelved pre-drain structure is about to become current again —
+// the newer structure is recycled instead.
+func (r *Router) shelveDest(dst topology.DeviceID) {
+	ds := r.destCur[dst]
+	if ds == nil {
+		return
+	}
+	r.destCur[dst] = nil
+	if old := r.destShelf[dst]; old != nil {
+		if old.sig == r.subgraphSig {
+			r.freeStates = append(r.freeStates, ds)
+			return
+		}
+		r.freeStates = append(r.freeStates, old)
+	}
+	r.destShelf[dst] = ds
+}
+
+// takeState returns a destState to rebuild into, recycling retained arenas.
+func (r *Router) takeState() *destState {
+	if n := len(r.freeStates); n > 0 {
+		ds := r.freeStates[n-1]
+		r.freeStates[n-1] = nil
+		r.freeStates = r.freeStates[:n-1]
+		return ds
+	}
+	return &destState{}
+}
+
+// prepareDests makes every destination of the matrix current: distinct
+// destinations are collected in first-appearance order, valid structures
+// are kept, signature-matching shelved structures are restored, and the
+// rest are rebuilt — sharded round-robin across Workers goroutines when
+// more than one rebuild is pending. Rebuilds are pure per-destination
+// functions, so the worker count cannot affect any result.
+//
+//selfmaint:hotpath
+func (r *Router) prepareDests(tm TrafficMatrix) {
+	r.destSeq++
+	seq := r.destSeq
+	pending := r.pending[:0]
+	for i := range tm.Demands {
+		dst := tm.Demands[i].Dst
+		if r.destMark[dst] == seq {
+			continue
+		}
+		r.destMark[dst] = seq
+		e := r.distEntryFor(dst)
+		cur := r.destCur[dst]
+		if cur != nil && cur.stamp == e.stamp {
+			continue // still valid: no affecting transition since it was built
+		}
+		if sh := r.destShelf[dst]; sh != nil && sh.sig == r.subgraphSig {
+			// The subgraph is bit-for-bit the one the shelved structure was
+			// built under (identical usable set ⇒ identical distances and
+			// DAG): restore it under the current field's stamp.
+			sh.stamp = e.stamp
+			r.destCur[dst] = sh
+			r.destShelf[dst] = cur // may be nil
+			continue
+		}
+		ds := r.takeState()
+		//lint:allow hotpathalloc rebuild queue growth; the slice is retained on the router and reused every evaluation
+		pending = append(pending, buildJob{dst: dst, ds: ds, e: e})
+		r.destCur[dst] = ds
+		if cur != nil {
+			// Demote the stale structure to the shelf: the subgraph may
+			// return to its build signature (drain/undrain sweeps do).
+			if old := r.destShelf[dst]; old != nil {
+				//lint:allow hotpathalloc free-list growth; bounded by destinations, backing array retained
+				r.freeStates = append(r.freeStates, old)
+			}
+			r.destShelf[dst] = cur
+		}
+	}
+	r.pending = pending
+	if len(pending) == 0 {
+		return
+	}
+	workers := r.Workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		b := r.builderFor(0)
+		for _, j := range pending {
+			r.buildDest(b, j.ds, j.dst, j.e)
+		}
+		return
+	}
+	r.runBuilds(pending, workers)
+}
+
+// runBuilds shards the pending rebuilds round-robin across workers
+// goroutines. It lives outside prepareDests so the goroutine closure's
+// captures are heap-moved only when rebuilds actually run in parallel —
+// the warm evaluation path stays allocation-free.
+func (r *Router) runBuilds(pending []buildJob, workers int) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int, b *destBuilder) {
+			defer wg.Done()
+			for i := w; i < len(pending); i += workers {
+				j := pending[i]
+				r.buildDest(b, j.ds, j.dst, j.e)
+			}
+		}(w, r.builderFor(w))
+	}
+	wg.Wait()
+}
+
+// builderFor returns worker w's scratch, growing the pool on first use.
+func (r *Router) builderFor(w int) *destBuilder {
+	for len(r.builders) <= w {
+		r.builders = append(r.builders, &destBuilder{})
+	}
+	return r.builders[w]
+}
+
+// buildDest materializes dst's suffix structure over distance field e.
+// Devices are processed in ascending BFS distance (ties in device-ID order,
+// via a counting sort), so each suffix is one link prepended to an
+// already-built suffix of the next hop. Neighbor links are visited in
+// adjacency order — the exact order the per-pair DFS descends — and each
+// device's list is capped at MaxPaths, which preserves per-pair path lists
+// exactly (a consumer takes at most MaxPaths suffixes from any one
+// downstream device, always its first ones).
+//
+// The function only reads shared router state (distance field, adjacency,
+// usability) and writes ds, so concurrent builds of different destinations
+// are race-free.
+//
+//selfmaint:hotpath
+func (r *Router) buildDest(b *destBuilder, ds *destState, dst topology.DeviceID, e distEntry) {
+	nd := len(r.net.Devices)
+	ds.start = growInt32(ds.start, nd)
+	ds.count = growInt32(ds.count, nd)
+	ds.plen = growInt32(ds.plen, nd)
+	dist := e.dist
+	maxd, reach := 0, 0
+	for _, dd := range dist {
+		if dd > maxd {
+			maxd = dd
+		}
+		if dd >= 0 {
+			reach++
+		}
+	}
+	// Counting sort of reachable devices by distance.
+	b.bucket = growInt32(b.bucket, maxd+1)
+	for _, dd := range dist {
+		if dd >= 0 {
+			b.bucket[dd]++
+		}
+	}
+	pos := int32(0)
+	for k := 0; k <= maxd; k++ {
+		n := b.bucket[k]
+		b.bucket[k] = pos
+		pos += n
+	}
+	if cap(b.order) < reach {
+		//lint:allow hotpathalloc builder scratch growth on first use; the buffer is retained per worker, steady state allocates nothing
+		b.order = make([]topology.DeviceID, reach)
+	}
+	order := b.order[:reach]
+	for id, dd := range dist {
+		if dd >= 0 {
+			order[b.bucket[dd]] = topology.DeviceID(id)
+			b.bucket[dd]++
+		}
+	}
+
+	arena := ds.arena[:0]
+	mp := int32(r.MaxPaths)
+	for _, d := range order {
+		if d == dst {
+			ds.count[d] = 1 // one empty suffix: the destination itself
+			continue
+		}
+		k := int32(dist[d])
+		base := int32(len(arena))
+		cnt := int32(0)
+		for _, np := range r.net.Neighbors(d) {
+			if cnt >= mp {
+				break
+			}
+			if !r.Usable(np.Link) {
+				continue
+			}
+			p := np.Peer.ID
+			if int32(dist[p]) != k-1 {
+				continue
+			}
+			ps, pc, plen := ds.start[p], ds.count[p], k-1
+			for i := int32(0); i < pc && cnt < mp; i++ {
+				//lint:allow hotpathalloc arena growth; the backing array is retained on the destState and reused across rebuilds
+				arena = append(arena, np.Link)
+				if plen > 0 {
+					//lint:allow hotpathalloc arena growth; the backing array is retained on the destState and reused across rebuilds
+					arena = append(arena, arena[ps+i*plen:ps+(i+1)*plen]...)
+				}
+				cnt++
+			}
+		}
+		ds.start[d], ds.count[d], ds.plen[d] = base, cnt, k
+	}
+	ds.arena = arena
+	ds.stamp = e.stamp
+	ds.sig = r.subgraphSig
+}

@@ -1,0 +1,195 @@
+package routing
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// buildTopo constructs one of the four studied topology families at modest
+// scale (routing cannot import maintindex's builders: maintindex depends on
+// routing).
+func buildTopo(t *testing.T, kind string) *topology.Network {
+	t.Helper()
+	var (
+		n   *topology.Network
+		err error
+	)
+	switch kind {
+	case "fattree":
+		n, err = topology.NewFatTree(topology.DefaultFatTree(4))
+	case "leafspine":
+		n, err = topology.NewLeafSpine(topology.LeafSpineConfig{
+			Leaves: 8, Spines: 4, HostsPerLeaf: 8, Uplinks: 1,
+			FabricGbps: 400, HostGbps: 100,
+		})
+	case "jellyfish":
+		cfg := topology.DefaultJellyfish()
+		cfg.Switches = 24
+		cfg.FabricDegree = 6
+		cfg.HostsPerSwitch = 3
+		n, err = topology.NewJellyfish(cfg)
+	case "xpander":
+		cfg := topology.DefaultXpander()
+		cfg.Degree = 6
+		cfg.Lift = 4
+		cfg.HostsPerSwitch = 3
+		n, err = topology.NewXpander(cfg)
+	default:
+		t.Fatalf("unknown topology kind %q", kind)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// Differential property pinning the destination-rooted engine to its
+// executable specification: across topology families × randomized
+// drain/fault/repair sequences × seeds, an incrementally maintained engine
+// router at every worker count produces Assessments byte-identical to the
+// per-pair enumerator on a router that full-flushes after every change.
+func TestDestRootedMatchesPerPairEnumerator(t *testing.T) {
+	workerCounts := []int{1, 2, 4, 8}
+	for _, kind := range []string{"fattree", "leafspine", "jellyfish", "xpander"} {
+		for _, seed := range []uint64{3, 11, 29} {
+			net := buildTopo(t, kind)
+			down := map[topology.LinkID]bool{}
+			health := func(id topology.LinkID) bool { return !down[id] }
+			ref := NewRouter(net, health)
+			engines := make([]*Router, len(workerCounts))
+			wss := make([]Workspace, len(workerCounts))
+			for i, w := range workerCounts {
+				engines[i] = NewRouter(net, health)
+				engines[i].Workers = w
+			}
+			var refWS Workspace
+			tm := UniformMatrix(net, 700)
+			fabric := net.SwitchLinks()
+			rng := rand.New(rand.NewPCG(seed, 0xd357))
+			for step := 0; step < 20; step++ {
+				l := fabric[rng.IntN(len(fabric))]
+				switch rng.IntN(4) {
+				case 0: // fault onset or flap-down
+					down[l.ID] = true
+				case 1: // repair or flap-up
+					down[l.ID] = false
+				case 2:
+					ref.Drain(l.ID)
+					for _, e := range engines {
+						e.Drain(l.ID)
+					}
+				case 3:
+					ref.Undrain(l.ID)
+					for _, e := range engines {
+						e.Undrain(l.ID)
+					}
+				}
+				ref.InvalidateLink(l.ID)
+				for _, e := range engines {
+					e.InvalidateLink(l.ID)
+				}
+				ref.Invalidate() // the reference always full-flushes
+				want := ref.referenceEvaluateInto(&refWS, tm)
+				for i, e := range engines {
+					got := e.EvaluateInto(&wss[i], tm)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s seed %d step %d workers=%d: engine %v != per-pair reference %v",
+							kind, seed, step, workerCounts[i], got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Drain-sweep cache reuse: a maintindex-style Drain → EvaluateInto → Undrain
+// sweep over every fabric link must be byte-identical to a fresh-router
+// evaluation at every step, both in the drained and the restored state —
+// the sequence where shelf restoration (not just single-op invalidation)
+// carries the result.
+func TestDrainSweepCacheReuse(t *testing.T) {
+	for _, kind := range []string{"fattree", "xpander"} {
+		net := buildTopo(t, kind)
+		r := NewRouter(net, nil)
+		tm := UniformMatrix(net, 700)
+		var ws Workspace
+		base := r.EvaluateInto(&ws, tm)
+		if want := freshEvaluate(r, tm); !reflect.DeepEqual(asValue(base), asValue(want)) {
+			t.Fatalf("%s: baseline %v != fresh %v", kind, base, want)
+		}
+		for i, l := range net.SwitchLinks() {
+			r.Drain(l.ID)
+			got := r.EvaluateInto(&ws, tm)
+			if want := freshEvaluate(r, tm); !reflect.DeepEqual(asValue(got), asValue(want)) {
+				t.Fatalf("%s link %d drained: swept %v != fresh %v", kind, i, got, want)
+			}
+			r.Undrain(l.ID)
+			got = r.EvaluateInto(&ws, tm)
+			if want := freshEvaluate(r, tm); !reflect.DeepEqual(asValue(got), asValue(want)) {
+				t.Fatalf("%s link %d restored: swept %v != fresh %v", kind, i, got, want)
+			}
+		}
+	}
+}
+
+// asValue deep-copies an Assessment's slices so workspace-aliased results
+// can be compared structurally.
+func asValue(a Assessment) Assessment {
+	a.PerDemand = append([]float64(nil), a.PerDemand...)
+	a.LinkLoad = append([]float64(nil), a.LinkLoad...)
+	return a
+}
+
+// A warm drain → evaluate → undrain → evaluate cycle — the maintindex sweep
+// step — must allocate nothing: shelved structures restore via the subgraph
+// signature and rebuilds recycle retained arenas.
+func TestDrainSweepWarmZeroAlloc(t *testing.T) {
+	net := buildTopo(t, "fattree")
+	r := NewRouter(net, nil)
+	tm := UniformMatrix(net, 700)
+	var ws Workspace
+	fabric := net.SwitchLinks()
+	l0, l1 := fabric[0], fabric[len(fabric)/2]
+	cycle := func(l *topology.Link) {
+		r.Drain(l.ID)
+		r.EvaluateInto(&ws, tm)
+		r.Undrain(l.ID)
+		r.EvaluateInto(&ws, tm)
+	}
+	// Warm every buffer the cycle can touch: both links' drained and
+	// restored states, free lists, arenas, and the pair cache.
+	for i := 0; i < 3; i++ {
+		cycle(l0)
+		cycle(l1)
+	}
+	if allocs := testing.AllocsPerRun(20, func() { cycle(l0); cycle(l1) }); allocs > 0 {
+		t.Fatalf("warm drain sweep cycle allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// Per-function warm-allocation assertions for the engine's hot functions:
+// prepareDests on a fully valid matrix and buildDest into a recycled
+// destState must both be allocation-free.
+func TestDestRootedHotFunctionsZeroAlloc(t *testing.T) {
+	net := buildTopo(t, "leafspine")
+	r := NewRouter(net, nil)
+	tm := UniformMatrix(net, 700)
+	var ws Workspace
+	r.EvaluateInto(&ws, tm)
+
+	if allocs := testing.AllocsPerRun(50, func() { r.prepareDests(tm) }); allocs > 0 {
+		t.Fatalf("warm prepareDests allocated %.1f/op, want 0", allocs)
+	}
+
+	dst := tm.Demands[0].Dst
+	e := r.distEntryFor(dst)
+	ds := r.destCur[dst]
+	b := r.builderFor(0)
+	r.buildDest(b, ds, dst, e) // size the builder scratch and arena
+	if allocs := testing.AllocsPerRun(50, func() { r.buildDest(b, ds, dst, e) }); allocs > 0 {
+		t.Fatalf("buildDest into recycled state allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -66,6 +66,12 @@ type Router struct {
 	// MaxPaths bounds equal-cost path enumeration per demand.
 	MaxPaths int
 
+	// Workers bounds the goroutines used to rebuild destination-rooted
+	// structures inside EvaluateInto (0 or 1 means serial). Rebuilds are
+	// pure per-destination functions, so the worker count is a throughput
+	// knob only: results are byte-identical at any setting.
+	Workers int
+
 	cache     map[[2]topology.DeviceID]pathEntry
 	distCache map[topology.DeviceID]distEntry
 	// linkDeps is the reverse index: linkDeps[id] maps each destination
@@ -98,6 +104,20 @@ type Router struct {
 	linkMark    []uint64            // per-link dedup scratch for pair registration
 	scratchDist []int               // BFS compare scratch for down-transitions
 	ws          Workspace           // Evaluate's internal workspace
+
+	// Destination-rooted engine state (destroot.go). destCur holds each
+	// destination's current suffix structure; destShelf is a one-slot
+	// per-destination parking spot for structures displaced by a subgraph
+	// transition, restorable when the subgraph signature returns to their
+	// build value (drain → undrain round trips restore for free).
+	destCur     []*destState
+	destShelf   []*destState
+	freeStates  []*destState
+	builders    []*destBuilder
+	pending     []buildJob
+	destMark    []uint64 // per-destination dedup scratch for prepareDests
+	destSeq     uint64
+	subgraphSig uint64 // Zobrist hash of the usable link set
 }
 
 // NewRouter creates a router. health may be nil, meaning all links are
@@ -114,11 +134,15 @@ func NewRouter(net *topology.Network, health HealthFn) *Router {
 		linkPairs:  make([][]pairRef, len(net.Links)),
 		lastUsable: make([]bool, len(net.Links)),
 		linkMark:   make([]uint64, len(net.Links)),
+		destCur:    make([]*destState, len(net.Devices)),
+		destShelf:  make([]*destState, len(net.Devices)),
+		destMark:   make([]uint64, len(net.Devices)),
 	}
 	r.usableFn = r.Usable
 	for i, l := range net.Links {
 		r.lastUsable[i] = r.Usable(l)
 	}
+	r.recomputeSubgraphSig()
 	return r
 }
 
@@ -194,6 +218,7 @@ func (r *Router) InvalidateLink(id topology.LinkID) {
 		return
 	}
 	r.lastUsable[id] = u
+	r.subgraphSig ^= destLinkSig(id) // toggle the link in/out of the Zobrist hash
 	r.cacheEpoch++
 	if !u {
 		r.linkDown(id)
@@ -215,6 +240,10 @@ func (r *Router) linkDown(id topology.LinkID) {
 		if !ok || e.stamp != stamp {
 			continue // stale registration; the field was already replaced
 		}
+		// The link was tight toward dst, so dst's ECMP DAG lost an edge even
+		// when the distances below survive: shelve the destination-rooted
+		// structure (an undrain restores it via the subgraph signature).
+		r.shelveDest(dst)
 		if cap(r.scratchDist) < len(r.net.Devices) {
 			r.scratchDist = make([]int, len(r.net.Devices))
 		}
@@ -253,12 +282,16 @@ func (r *Router) linkUp(id topology.LinkID, a, b topology.DeviceID) {
 			continue // equidistant (or both unreachable): never on a shortest path
 		}
 		if da < 0 || db < 0 || da-db > 1 || db-da > 1 {
+			r.shelveDest(dst)
 			r.evictDist(dst, e) // the link shortens or newly connects routes to dst
 			continue
 		}
 		// |da-db| == 1: distances survive, but the link is now tight toward
 		// dst — register it so a future down-transition re-verifies this
-		// field, and let the pair scan below handle the DAG change.
+		// field, and let the pair scan below handle the DAG change. The
+		// destination's DAG gained an edge, so its suffix structure retires
+		// to the shelf (an undrain round trip restores the pre-drain one).
+		r.shelveDest(dst)
 		deps := r.linkDeps[id]
 		if deps == nil {
 			deps = make(map[topology.DeviceID]uint64)
@@ -345,6 +378,11 @@ func (r *Router) Invalidate() {
 	for i, l := range r.net.Links {
 		r.lastUsable[i] = r.Usable(l)
 	}
+	r.recomputeSubgraphSig()
+	// Destination-rooted structures are not flushed here: stale ones fail
+	// their stamp comparison on next use (the fresh fields carry the new
+	// epoch), and shelved ones stay restorable — the recomputed signature
+	// makes the validity check exact even after bulk edits.
 }
 
 // distEntryFor returns the cached BFS distance field toward dst, computing
@@ -498,10 +536,14 @@ func (a Assessment) String() string {
 		a.OfferedGbps, a.SatisfiedGbps, a.Availability(), a.Unreachable, a.MaxUtil)
 }
 
-// routed is one demand's routing decision within an evaluation.
+// routed is one demand's routing decision within an evaluation. The engine
+// path records the arena-backed span (block of n suffixes, plen links each);
+// the reference enumerator records the per-pair path list.
 type routed struct {
-	paths []topology.Path
-	share float64
+	block   []*topology.Link
+	n, plen int
+	paths   []topology.Path
+	share   float64
 }
 
 // Workspace holds the scratch buffers one traffic-matrix evaluation needs.
@@ -543,14 +585,99 @@ func (r *Router) Evaluate(tm TrafficMatrix) Assessment {
 // the workspace's next evaluation. With warm caches it performs zero heap
 // allocations.
 //
+// Path resolution runs on the destination-rooted engine (destroot.go): one
+// shared suffix structure per destination serves every source, in place of
+// an independent DFS per pair. The accumulation loops below run in demand
+// order over the same per-pair path sequences the reference enumerator
+// produces, so every float summation order — and the Assessment — is
+// byte-identical to referenceEvaluateInto at any Workers setting.
+//
 //selfmaint:hotpath
 func (r *Router) EvaluateInto(ws *Workspace, tm TrafficMatrix) Assessment {
+	r.prepareDests(tm)
 	nd, nl := len(tm.Demands), len(r.net.Links)
 	ws.perDemand = growFloats(ws.perDemand, nd)
 	ws.linkLoad = growFloats(ws.linkLoad, nl)
 	ws.over = growFloats(ws.over, nl)
 	if cap(ws.routes) < nd {
 		//lint:allow hotpathalloc workspace growth on first use; the buffer is retained, steady state allocates nothing
+		ws.routes = make([]routed, nd)
+	} else {
+		ws.routes = ws.routes[:nd]
+	}
+	as := Assessment{
+		PerDemand: ws.perDemand,
+		LinkLoad:  ws.linkLoad,
+	}
+	for i, d := range tm.Demands {
+		as.OfferedGbps += d.Gbps
+		n := 0
+		var ds *destState
+		if d.Src != d.Dst {
+			ds = r.destCur[d.Dst]
+			n = int(ds.count[d.Src])
+		}
+		if n == 0 {
+			ws.routes[i] = routed{}
+			as.Unreachable++
+			continue
+		}
+		plen := int(ds.plen[d.Src])
+		s := int(ds.start[d.Src])
+		blk := ds.arena[s : s+n*plen]
+		share := d.Gbps / float64(n)
+		ws.routes[i] = routed{block: blk, n: n, plen: plen, share: share}
+		for p := 0; p < len(blk); p += plen {
+			for _, l := range blk[p : p+plen] {
+				as.LinkLoad[l.ID] += share
+			}
+		}
+	}
+	// Overload factors.
+	for id, load := range as.LinkLoad {
+		cap := r.net.Links[id].GbpsCap
+		if cap <= 0 {
+			continue
+		}
+		u := load / cap
+		if u > as.MaxUtil {
+			as.MaxUtil = u
+		}
+		if u > 1 {
+			ws.over[id] = u
+		}
+	}
+	for i, d := range tm.Demands {
+		rt := &ws.routes[i]
+		if rt.n == 0 {
+			continue
+		}
+		achieved := 0.0
+		for p := 0; p < len(rt.block); p += rt.plen {
+			worst := 1.0
+			for _, l := range rt.block[p : p+rt.plen] {
+				if ws.over[l.ID] > worst {
+					worst = ws.over[l.ID]
+				}
+			}
+			achieved += rt.share / worst
+		}
+		as.SatisfiedGbps += achieved
+		as.PerDemand[i] = achieved / d.Gbps
+	}
+	return as
+}
+
+// referenceEvaluateInto is the original per-pair evaluation: every demand
+// resolved through the paths enumerator. It is the executable specification
+// the destination-rooted engine is differentially tested against
+// (TestDestRootedMatchesPerPairEnumerator) and is not used on any hot path.
+func (r *Router) referenceEvaluateInto(ws *Workspace, tm TrafficMatrix) Assessment {
+	nd, nl := len(tm.Demands), len(r.net.Links)
+	ws.perDemand = growFloats(ws.perDemand, nd)
+	ws.linkLoad = growFloats(ws.linkLoad, nl)
+	ws.over = growFloats(ws.over, nl)
+	if cap(ws.routes) < nd {
 		ws.routes = make([]routed, nd)
 	} else {
 		ws.routes = ws.routes[:nd]

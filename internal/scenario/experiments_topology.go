@@ -74,19 +74,9 @@ func F4Maintainability(r *Runner) (*metrics.Figure, *metrics.Table, error) {
 					return f4{}, err
 				}
 				rep := maintindex.Evaluate(net, maintindex.DefaultConfig())
-				// Per-switch goodput under full uniform injection.
-				router := routing.NewRouter(net, nil)
-				var offered float64
-				for _, h := range net.Hosts() {
-					for _, p := range h.Ports {
-						if p.Link != nil {
-							offered += p.Link.GbpsCap
-						}
-					}
-				}
-				var ws routing.Workspace
-				a := router.EvaluateInto(&ws, routing.UniformMatrix(net, offered))
-				return f4{rep: rep, perSwitch: a.SatisfiedGbps / float64(net.Stats().Switches)}, nil
+				// Per-switch goodput under full uniform injection, straight
+				// from the report's own throughput probe.
+				return f4{rep: rep, perSwitch: rep.SatisfiedGbps / float64(net.Stats().Switches)}, nil
 			},
 		})
 	}
@@ -192,6 +182,29 @@ func F5FleetSizing(r *Runner, p RepairParams) (*metrics.Figure, *metrics.Table, 
 	if err != nil {
 		return nil, nil, err
 	}
+	// Storm size is a property of the topology and storm rule, not of the
+	// fleet size or seed, so one note covers every cell. Should a build ever
+	// make the sizes diverge, each distinct size is reported with the first
+	// cell that produced it instead of the last one clobbering the rest.
+	uniform := true
+	for _, c := range res[1:] {
+		if c.stormed != res[0].stormed {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		tab.Notes = append(tab.Notes, fmt.Sprintf("storm size %d links per seed", res[0].stormed))
+	} else {
+		noted := map[int]bool{}
+		for i, c := range res {
+			if !noted[c.stormed] {
+				noted[c.stormed] = true
+				tab.Notes = append(tab.Notes, fmt.Sprintf("storm size %d links (%s)",
+					c.stormed, cells[i].Key))
+			}
+		}
+	}
 	var xs, p99s, clears []float64
 	for ui, units := range sizes {
 		var h metrics.Histogram
@@ -204,8 +217,6 @@ func F5FleetSizing(r *Runner, p RepairParams) (*metrics.Figure, *metrics.Table, 
 			}
 			clearSum += c.clearH
 			resolved += c.resolved
-			tab.Notes = nil // identical across seeds; keep the last
-			tab.Notes = append(tab.Notes, fmt.Sprintf("storm size %d links per seed", c.stormed))
 		}
 		clear := clearSum / float64(len(p.Seeds))
 		tab.AddRow(units, "storm", h.Quantile(0.99), clear, resolved)

@@ -8,14 +8,14 @@ package topology
 // Usable filters links for graph computations.
 type Usable func(*Link) bool
 
-func (n *Network) usableAdj(d DeviceID, ok Usable) []adjEntry {
+func (n *Network) usableAdj(d DeviceID, ok Usable) []LinkPeer {
 	if ok == nil {
 		return n.adj[d]
 	}
 	entries := n.adj[d]
-	out := make([]adjEntry, 0, len(entries))
+	out := make([]LinkPeer, 0, len(entries))
 	for _, e := range entries {
-		if ok(e.link) {
+		if ok(e.Link) {
 			out = append(out, e)
 		}
 	}
@@ -44,10 +44,10 @@ func (n *Network) HopDistancesInto(src DeviceID, ok Usable, dist []int, queue []
 	for head := 0; head < len(queue); head++ {
 		d := queue[head]
 		for _, e := range n.adj[d] {
-			if ok != nil && !ok(e.link) {
+			if ok != nil && !ok(e.Link) {
 				continue
 			}
-			p := e.peer.ID
+			p := e.Peer.ID
 			if dist[p] < 0 {
 				dist[p] = dist[d] + 1
 				queue = append(queue, p)
@@ -89,8 +89,8 @@ func (n *Network) NextHopsTo(dst DeviceID, ok Usable) [][]*Link {
 			continue // dst itself or unreachable
 		}
 		for _, e := range n.usableAdj(DeviceID(d), ok) {
-			if pd := dist[e.peer.ID]; pd >= 0 && pd == dist[d]-1 {
-				hops[d] = append(hops[d], e.link)
+			if pd := dist[e.Peer.ID]; pd >= 0 && pd == dist[d]-1 {
+				hops[d] = append(hops[d], e.Link)
 			}
 		}
 	}
@@ -126,9 +126,9 @@ func (n *Network) ShortestPaths(src, dst DeviceID, limit int, ok Usable) []Path 
 			return
 		}
 		for _, e := range n.usableAdj(d, ok) {
-			if pd := dist[e.peer.ID]; pd >= 0 && pd == dist[d]-1 {
-				cur = append(cur, e.link)
-				walk(e.peer.ID)
+			if pd := dist[e.Peer.ID]; pd >= 0 && pd == dist[d]-1 {
+				cur = append(cur, e.Link)
+				walk(e.Peer.ID)
 				cur = cur[:len(cur)-1]
 				if len(out) >= limit {
 					return
@@ -179,22 +179,22 @@ func (n *Network) EdgeDisjointPaths(src, dst DeviceID, ok Usable) int {
 			d := queue[0]
 			queue = queue[1:]
 			for _, e := range n.usableAdj(d, ok) {
-				p := e.peer.ID
+				p := e.Peer.ID
 				if seen[p] {
 					continue
 				}
 				dir := int8(1)
-				if e.link.B.Device.ID == d {
+				if e.Link.B.Device.ID == d {
 					dir = -1
 				}
 				// Crossing d->p uses the edge in direction dir; allowed if
 				// edge is free or currently carries flow in the opposite
 				// direction.
-				if used[e.link.ID] == dir {
+				if used[e.Link.ID] == dir {
 					continue
 				}
 				seen[p] = true
-				prevLink[p] = e.link
+				prevLink[p] = e.Link
 				prevDev[p] = d
 				if p == dst {
 					found = true

@@ -153,12 +153,7 @@ type Network struct {
 	Links   []*Link
 	Layout  *Layout
 
-	adj [][]adjEntry // by DeviceID
-}
-
-type adjEntry struct {
-	link *Link
-	peer *Device
+	adj [][]LinkPeer // by DeviceID
 }
 
 // New returns an empty network with the given name and a default layout.
@@ -212,8 +207,8 @@ func (n *Network) Connect(a, b *Port, class CableClass, gbps float64) *Link {
 	}
 	a.Link, b.Link = l, l
 	n.Links = append(n.Links, l)
-	n.adj[a.Device.ID] = append(n.adj[a.Device.ID], adjEntry{l, b.Device})
-	n.adj[b.Device.ID] = append(n.adj[b.Device.ID], adjEntry{l, a.Device})
+	n.adj[a.Device.ID] = append(n.adj[a.Device.ID], LinkPeer{l, b.Device})
+	n.adj[b.Device.ID] = append(n.adj[b.Device.ID], LinkPeer{l, a.Device})
 	n.Layout.registerRun(l)
 	return l
 }
@@ -227,14 +222,11 @@ func (n *Network) ConnectAuto(a, b *Port, gbps float64) *Link {
 }
 
 // Neighbors returns the adjacency list of d: each entry is a link and the
-// device at its far end. The returned slice must not be modified.
+// device at its far end. The slice is the network's own adjacency storage —
+// no allocation per call, so hot loops (ECMP enumeration, per-tick fabric
+// sampling) can iterate it freely — and must not be modified.
 func (n *Network) Neighbors(d DeviceID) []LinkPeer {
-	entries := n.adj[d]
-	out := make([]LinkPeer, len(entries))
-	for i, e := range entries {
-		out[i] = LinkPeer{Link: e.link, Peer: e.peer}
-	}
-	return out
+	return n.adj[d]
 }
 
 // LinkPeer pairs a link with the device at its far end, as seen from some
