@@ -17,8 +17,10 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific determinism and hot-path analyzers (see internal/lint).
+# -stale fails on //lint:allow directives that no longer suppress anything;
+# the fact cache carries interprocedural results to the bench-diff stage.
 lint:
-	$(GO) run ./cmd/selfmaintlint ./...
+	$(GO) run ./cmd/selfmaintlint -stale -factcache .cache/selfmaintlint ./...
 
 fmt:
 	gofmt -w .
@@ -32,6 +34,7 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/experiments -quick -bench-json BENCH_experiments.json > /dev/null
+	$(GO) run ./cmd/selfmaintlint -factcache .cache/selfmaintlint -bench-json BENCH_experiments.json ./...
 
 # One-iteration pass over the routing hot-path benchmarks: proves the
 # incremental-invalidation and zero-alloc paths still build and run in CI.
@@ -46,6 +49,7 @@ bench-quick:
 bench-diff:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) run ./cmd/experiments -quick -serial -bench-json "$$tmp/bench.json" > /dev/null && \
+	$(GO) run ./cmd/selfmaintlint -factcache .cache/selfmaintlint -bench-json "$$tmp/bench.json" ./... && \
 	$(GO) run ./cmd/benchdiff BENCH_experiments.json "$$tmp/bench.json"
 
 # Smoke-run the quick experiment suite on all host cores (output discarded;

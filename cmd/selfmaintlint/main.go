@@ -1,172 +1,59 @@
 // Command selfmaintlint is the multichecker for the repository's
-// determinism and hot-path invariants. It loads the named packages
-// (default ./...), runs the five analyzers from internal/lint, applies
-// //lint:allow suppression, and exits non-zero on any finding — ci.sh runs
-// it between go vet and the race stage.
+// determinism, hot-path, and concurrency invariants. It loads the named
+// packages (default ./...), runs the analyzer suite from internal/lint
+// with the interprocedural fact layer, applies //lint:allow suppression,
+// and exits non-zero on any finding — ci.sh runs it between go vet and the
+// race stage.
 //
 // Usage:
 //
-//	selfmaintlint [-fix] [-v] [packages...]
+//	selfmaintlint [flags] [packages...]
 //
-//	-fix  apply suggested fixes (currently the mapiter detsort.Keys
-//	      rewrite) to the source files in place, then report what remains
-//	-v    list the analyzers and packages as they run
+//	-fix              apply suggested fixes (currently the mapiter
+//	                  detsort.Keys rewrite) in place, then report what remains
+//	-stale            also flag //lint:allow directives that suppressed
+//	                  nothing (dead suppressions must not accumulate)
+//	-json             print findings as a JSON array
+//	                  (file/line/col/analyzer/message/chain)
+//	-factcache DIR    cache propagated facts in DIR/facts.json; unchanged
+//	                  packages skip fact recomputation on the next run
+//	-bench-json FILE  upsert this run's wall time as the "lint" experiment
+//	                  in the BENCH artifact, for cmd/benchdiff gating
+//	-v                list packages as they are analyzed
 //
-// Findings print as file:line:col: [analyzer] message. A finding is
-// resolved either by fixing the code or by an explicit
-// //lint:allow <analyzer> <reason> directive on or above the line; the
-// reason is mandatory and directives naming unknown analyzers are
-// themselves findings, so a typo cannot suppress anything silently.
+// Findings print as file:line:col: [analyzer] message; transitive findings
+// append their call chain, e.g. "(via EvaluateInto → helper → make at
+// routing/foo.go:42)". A finding is resolved either by fixing the code or
+// by an explicit //lint:allow <analyzer> <reason> directive on or above
+// the line; the reason is mandatory and directives naming unknown
+// analyzers are themselves findings, so a typo cannot suppress anything
+// silently. An allow also prunes the named analyzer's facts at that line,
+// so one directive covers the transitive findings it argues for.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"go/token"
 	"os"
-	"sort"
 
-	"repro/internal/lint"
-	"repro/internal/lint/allow"
-	"repro/internal/lint/analysis"
-	"repro/internal/lint/loader"
+	"repro/internal/lint/driver"
 )
-
-type finding struct {
-	pos      token.Position
-	analyzer string
-	diag     analysis.Diagnostic
-}
 
 func main() {
 	fix := flag.Bool("fix", false, "apply suggested fixes in place")
-	verbose := flag.Bool("v", false, "log analyzers and packages as they run")
+	stale := flag.Bool("stale", false, "flag //lint:allow directives that suppressed nothing")
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	factCache := flag.String("factcache", "", "directory for the interprocedural fact cache")
+	benchJSON := flag.String("bench-json", "", "BENCH artifact to record lint wall time in")
+	verbose := flag.Bool("v", false, "log packages as they run")
 	flag.Parse()
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
 
-	pkgs, err := loader.Load(loader.Config{}, patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "selfmaintlint: %v\n", err)
-		os.Exit(2)
-	}
-
-	analyzers := lint.Analyzers()
-	known := lint.Names()
-	var findings []finding
-	for _, pkg := range pkgs {
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "selfmaintlint: %s\n", pkg.Path)
-		}
-		ix := allow.Build(pkg.Fset, pkg.Files, known)
-		for _, p := range ix.Problems {
-			findings = append(findings, finding{pos: pkg.Fset.Position(p.Pos), analyzer: "allow", diag: p})
-		}
-		for _, a := range analyzers {
-			var diags []analysis.Diagnostic
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.Info,
-				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-			}
-			if _, err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "selfmaintlint: %s on %s: %v\n", a.Name, pkg.Path, err)
-				os.Exit(2)
-			}
-			for _, d := range ix.Filter(a.Name, pkg.Fset, diags) {
-				findings = append(findings, finding{pos: pkg.Fset.Position(d.Pos), analyzer: a.Name, diag: d})
-			}
-		}
-	}
-
-	if *fix {
-		findings = applyFixes(findings)
-	}
-
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].pos, findings[j].pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
-	for _, f := range findings {
-		fmt.Printf("%s: [%s] %s\n", f.pos, f.analyzer, f.diag.Message)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "selfmaintlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
-}
-
-// applyFixes rewrites source files with each finding's first suggested fix
-// and returns the findings that had none. Edits are grouped per file and
-// applied back-to-front so earlier offsets stay valid; overlapping edits
-// keep only the first (in position order) to stay safe.
-func applyFixes(findings []finding) []finding {
-	type edit struct {
-		start, end int
-		text       []byte
-	}
-	byFile := make(map[string][]edit)
-	var rest []finding
-	fixed := 0
-	for _, f := range findings {
-		if len(f.diag.SuggestedFixes) == 0 {
-			rest = append(rest, f)
-			continue
-		}
-		sf := f.diag.SuggestedFixes[0]
-		ok := true
-		var edits []edit
-		for _, te := range sf.TextEdits {
-			// Positions translate to file offsets via the reported position
-			// base: Pos/End are in the same file as the finding.
-			startPos := f.pos.Offset + int(te.Pos-f.diag.Pos)
-			endPos := startPos + int(te.End-te.Pos)
-			if startPos < 0 || endPos < startPos {
-				ok = false
-				break
-			}
-			edits = append(edits, edit{start: startPos, end: endPos, text: te.NewText})
-		}
-		if !ok {
-			rest = append(rest, f)
-			continue
-		}
-		byFile[f.pos.Filename] = append(byFile[f.pos.Filename], edits...)
-		fixed++
-	}
-	for file, edits := range byFile {
-		src, err := os.ReadFile(file)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "selfmaintlint: -fix: %v\n", err)
-			os.Exit(2)
-		}
-		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
-		lastStart := len(src) + 1
-		for _, e := range edits {
-			if e.end > lastStart || e.end > len(src) {
-				continue // overlapping or out-of-range edit: skip
-			}
-			src = append(src[:e.start], append(e.text, src[e.end:]...)...)
-			lastStart = e.start
-		}
-		if err := os.WriteFile(file, src, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "selfmaintlint: -fix: %v\n", err)
-			os.Exit(2)
-		}
-	}
-	if fixed > 0 {
-		fmt.Fprintf(os.Stderr, "selfmaintlint: applied %d fix(es); re-run to verify\n", fixed)
-	}
-	return rest
+	os.Exit(driver.Run(driver.Options{
+		Patterns:  flag.Args(),
+		Fix:       *fix,
+		Stale:     *stale,
+		JSON:      *jsonOut,
+		FactCache: *factCache,
+		BenchJSON: *benchJSON,
+		Verbose:   *verbose,
+	}))
 }

@@ -10,6 +10,14 @@
 // both as a trailing comment on the offending line and as a standalone
 // comment line above it. The reason is mandatory: an allow that does not
 // say why it is safe is itself a finding.
+//
+// A directive also suppresses the named analyzer's interprocedural facts
+// at the same lines — at a fact origin it stops the fact from ever being
+// created, and at a call site it prunes propagation through that edge —
+// so one reasoned allow silences the whole subtree of transitive findings
+// it argues for. Every suppression (diagnostic or fact) marks the
+// directive used; cmd/selfmaintlint -stale reports the ones that never
+// fire, so dead suppressions cannot accumulate.
 package allow
 
 import (
@@ -25,11 +33,24 @@ import (
 // after the slashes.
 const Prefix = "//lint:allow"
 
+// Directive is one well-formed //lint:allow, tracked for -stale.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	File     string
+	Line     int
+	Used     bool
+}
+
 // Index records every well-formed directive of one package and every
 // malformed one (as a ready-to-report diagnostic).
 type Index struct {
-	// lines maps analyzer name -> filename -> set of suppressed lines.
-	lines map[string]map[string]map[int]bool
+	// lines maps analyzer name -> filename -> line -> directives covering
+	// that line (a directive covers its own line and the next).
+	lines map[string]map[string]map[int][]*Directive
+	// Directives lists every well-formed directive in file order.
+	Directives []*Directive
 	// Problems are malformed or unknown-analyzer directives.
 	Problems []analysis.Diagnostic
 }
@@ -38,7 +59,7 @@ type Index struct {
 // valid analyzer names; a directive naming anything else is a problem, so
 // typos cannot silently suppress nothing.
 func Build(fset *token.FileSet, files []*ast.File, known map[string]bool) *Index {
-	ix := &Index{lines: make(map[string]map[string]map[int]bool)}
+	ix := &Index{lines: make(map[string]map[string]map[int][]*Directive)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -59,8 +80,16 @@ func Build(fset *token.FileSet, files []*ast.File, known map[string]bool) *Index
 					ix.problemf(c.Pos(), "%s %s needs a reason", Prefix, fields[0])
 				default:
 					pos := fset.Position(c.Pos())
-					ix.add(fields[0], pos.Filename, pos.Line)
-					ix.add(fields[0], pos.Filename, pos.Line+1)
+					d := &Directive{
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						Pos:      c.Pos(),
+						File:     pos.Filename,
+						Line:     pos.Line,
+					}
+					ix.Directives = append(ix.Directives, d)
+					ix.add(d, pos.Line)
+					ix.add(d, pos.Line+1)
 				}
 			}
 		}
@@ -72,29 +101,42 @@ func (ix *Index) problemf(pos token.Pos, format string, args ...any) {
 	ix.Problems = append(ix.Problems, analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-func (ix *Index) add(name, file string, line int) {
-	byFile := ix.lines[name]
+func (ix *Index) add(d *Directive, line int) {
+	byFile := ix.lines[d.Analyzer]
 	if byFile == nil {
-		byFile = make(map[string]map[int]bool)
-		ix.lines[name] = byFile
+		byFile = make(map[string]map[int][]*Directive)
+		ix.lines[d.Analyzer] = byFile
 	}
-	lines := byFile[file]
+	lines := byFile[d.File]
 	if lines == nil {
-		lines = make(map[int]bool)
-		byFile[file] = lines
+		lines = make(map[int][]*Directive)
+		byFile[d.File] = lines
 	}
-	lines[line] = true
+	lines[line] = append(lines[line], d)
 }
 
 // Allowed reports whether a diagnostic from analyzer name at pos is
-// suppressed by a directive.
+// suppressed by a directive, marking every covering directive used.
 func (ix *Index) Allowed(name string, fset *token.FileSet, pos token.Pos) bool {
 	byFile := ix.lines[name]
 	if byFile == nil {
 		return false
 	}
 	p := fset.Position(pos)
-	return byFile[p.Filename][p.Line]
+	ds := byFile[p.Filename][p.Line]
+	for _, d := range ds {
+		d.Used = true
+	}
+	return len(ds) > 0
+}
+
+// MarkUsed marks the directives of analyzer covering file:line as used.
+// The driver replays fact-cache usage records through this on a cache hit,
+// where the suppression that consumed the directive does not re-run.
+func (ix *Index) MarkUsed(analyzer, file string, line int) {
+	for _, d := range ix.lines[analyzer][file][line] {
+		d.Used = true
+	}
 }
 
 // Filter returns the diagnostics of analyzer name not suppressed by ix.
@@ -106,4 +148,17 @@ func (ix *Index) Filter(name string, fset *token.FileSet, diags []analysis.Diagn
 		}
 	}
 	return kept
+}
+
+// Stale returns the directives that never suppressed a diagnostic or a
+// fact during the run, in file order — dead weight the -stale gate fails
+// the build on.
+func (ix *Index) Stale() []*Directive {
+	var out []*Directive
+	for _, d := range ix.Directives {
+		if !d.Used {
+			out = append(out, d)
+		}
+	}
+	return out
 }

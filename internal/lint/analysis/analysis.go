@@ -14,6 +14,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
+
+	"repro/internal/lint/facts"
 )
 
 // Analyzer describes one static check.
@@ -25,6 +28,12 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (any, error)
+	// FactCollector, when non-nil, scans one package for the fact origins
+	// this analyzer consumes transitively (see internal/lint/facts). The
+	// driver runs every analyzer's collector over every package — in
+	// dependency order, before any Run — so Run sees fully propagated
+	// facts for the package's whole import cone.
+	FactCollector facts.Collector
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -37,6 +46,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts is the propagated interprocedural fact view of this package
+	// (nil when the driver runs without the fact layer); analyzers use it
+	// to surface violations reached only through transitive calls.
+	Facts *facts.View
 	// Report delivers one diagnostic. It is never nil.
 	Report func(Diagnostic)
 }
@@ -46,12 +59,37 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ReportTransitive reports a diagnostic at a call site whose callee
+// carries fact f: the message is the invariant, the chain walks from the
+// enclosing function down to the origin site.
+func (p *Pass) ReportTransitive(call *ast.CallExpr, f facts.Fact, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:     call.Pos(),
+		End:     call.End(),
+		Message: fmt.Sprintf(format, args...),
+		Chain:   f.ChainWithOrigin(p.Facts.Caller(call)),
+	})
+}
+
 // Diagnostic is one finding. End may be token.NoPos.
 type Diagnostic struct {
-	Pos            token.Pos
-	End            token.Pos
-	Message        string
+	Pos     token.Pos
+	End     token.Pos
+	Message string
+	// Chain, when non-empty, is the call chain of a transitive finding:
+	// enclosing function, intermediate callees, then the origin site
+	// ("EvaluateInto", "helperX", "make at routing/foo.go:42"). Render
+	// folds it into the human-readable message; -json keeps it structured.
+	Chain          []string
 	SuggestedFixes []SuggestedFix
+}
+
+// Render returns the full human-readable message, chain included.
+func (d Diagnostic) Render() string {
+	if len(d.Chain) == 0 {
+		return d.Message
+	}
+	return d.Message + " (via " + strings.Join(d.Chain, " → ") + ")"
 }
 
 // SuggestedFix is one machine-applicable rewrite that resolves the

@@ -8,22 +8,33 @@
 //	time.Sleep(d) // want `wall clock`
 //
 // The argument is a regular expression in backquotes or a double-quoted Go
-// string; several patterns on one line expect several diagnostics. The
-// harness applies //lint:allow filtering before matching, so testdata can
-// assert both that a directive suppresses a finding and that the finding
-// fires without it.
+// string; several patterns on one line expect several diagnostics. Patterns
+// match the rendered diagnostic — message plus " (via a → b → ...)" call
+// chain — so transitive findings can assert their chains. The harness
+// applies //lint:allow filtering before matching, so testdata can assert
+// both that a directive suppresses a finding and that the finding fires
+// without it.
+//
+// Before the analyzer runs, the harness replays the whole suite's fact
+// collectors over the target package's source-root dependencies in
+// dependency order, exactly as the driver does over real imports: a
+// testdata package under det/ importing a helper package sees the helper's
+// propagated facts.
 package analysistest
 
 import (
 	"fmt"
+	"go/token"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/lint"
 	"repro/internal/lint/allow"
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 	"repro/internal/lint/loader"
 )
 
@@ -33,19 +44,39 @@ type Result struct {
 	Diagnostics []analysis.Diagnostic
 }
 
-// Run loads each named package from dir/src/<path>, applies a, filters
-// through //lint:allow, and reports mismatches against // want comments as
-// test errors. It returns the per-package results so tests can make extra
-// assertions (e.g. on suggested fixes).
+// Run loads each named package from dir/src/<path>, applies a with the
+// fact layer primed, filters through //lint:allow, and reports mismatches
+// against // want comments as test errors. It returns the per-package
+// results so tests can make extra assertions (e.g. on suggested fixes).
 func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) []Result {
 	t.Helper()
+	var collectors []facts.Collector
+	for _, az := range lint.Analyzers() {
+		collectors = append(collectors, az.FactCollector)
+	}
+	known := lint.Names()
 	var results []Result
 	for _, path := range paths {
-		pkg, err := loader.LoadSource(loader.Config{
+		pkg, deps, err := loader.LoadSource(loader.Config{
 			SrcRoots: []loader.SrcRoot{{Dir: dir + "/src"}},
 		}, path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
+		}
+		store := facts.NewStore()
+		var view *facts.View
+		var ix *allow.Index
+		for _, p := range append(deps, pkg) {
+			p := p
+			pix := allow.Build(p.Fset, p.Files, known)
+			v := facts.Analyze(
+				&facts.PkgInfo{Fset: p.Fset, Files: p.Files, Pkg: p.Types, Info: p.Info},
+				store, collectors,
+				func(name string, pos token.Pos) bool { return pix.Allowed(name, p.Fset, pos) },
+			)
+			if p == pkg {
+				view, ix = v, pix
+			}
 		}
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
@@ -54,14 +85,16 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) []Resu
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     view,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 		}
 		if _, err := a.Run(pass); err != nil {
 			t.Fatalf("%s: running %s: %v", path, a.Name, err)
 		}
-		ix := allow.Build(pkg.Fset, pkg.Files, map[string]bool{a.Name: true})
 		diags = ix.Filter(a.Name, pkg.Fset, diags)
-		checkWants(t, pkg, a.Name, diags)
+		for _, msg := range diffWants(pkg.Fset, a.Name, collectWants(t, pkg), diags) {
+			t.Errorf("%s", msg)
+		}
 		results = append(results, Result{Pkg: pkg, Diagnostics: diags})
 	}
 	return results
@@ -77,8 +110,8 @@ type want struct {
 
 var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
 
-// checkWants matches diagnostics against // want comments one-to-one.
-func checkWants(t *testing.T, pkg *loader.Package, name string, diags []analysis.Diagnostic) {
+// collectWants parses the // want comments of every file in pkg.
+func collectWants(t *testing.T, pkg *loader.Package) []*want {
 	t.Helper()
 	var wants []*want
 	for _, f := range pkg.Files {
@@ -105,29 +138,65 @@ func checkWants(t *testing.T, pkg *loader.Package, name string, diags []analysis
 			}
 		}
 	}
+	return wants
+}
+
+// diffWants matches diagnostics against wants one-to-one and returns the
+// mismatches as ready-to-report messages. Matching is on the rendered
+// diagnostic (message + call chain). A missed expectation names the
+// analyzer and the nearest actual finding in the same file, which turns
+// "got none" into an actionable off-by-one-line or wrong-regexp hint.
+func diffWants(fset *token.FileSet, name string, wants []*want, diags []analysis.Diagnostic) []string {
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	var msgs []string
 	for _, d := range diags {
-		pos := pkg.Fset.Position(d.Pos)
+		pos := fset.Position(d.Pos)
 		matched := false
 		for _, w := range wants {
 			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
 				continue
 			}
-			if w.re.MatchString(d.Message) {
+			if w.re.MatchString(d.Render()) {
 				w.re = nil // consumed
 				matched = true
 				break
 			}
 		}
 		if !matched {
-			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, name, d.Message)
+			msgs = append(msgs, fmt.Sprintf("%s: unexpected diagnostic: %s: %s", pos, name, d.Render()))
 		}
 	}
 	for _, w := range wants {
-		if w.re != nil {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		if w.re == nil {
+			continue
+		}
+		msg := fmt.Sprintf("%s:%d: expected %s diagnostic matching %q, got none", w.file, w.line, name, w.raw)
+		if near, ok := nearest(fset, w, diags); ok {
+			msg += "; nearest " + name + " finding: " + near
+		}
+		msgs = append(msgs, msg)
+	}
+	return msgs
+}
+
+// nearest finds the diagnostic in the want's file closest to its line.
+func nearest(fset *token.FileSet, w *want, diags []analysis.Diagnostic) (string, bool) {
+	best, bestDist := "", 0
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if pos.Filename != w.file {
+			continue
+		}
+		dist := pos.Line - w.line
+		if dist < 0 {
+			dist = -dist
+		}
+		if best == "" || dist < bestDist {
+			best = fmt.Sprintf("line %d: %s", pos.Line, d.Render())
+			bestDist = dist
 		}
 	}
+	return best, best != ""
 }
 
 // parsePatterns splits `a` "b" sequences into their string values.

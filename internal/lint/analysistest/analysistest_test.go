@@ -1,0 +1,88 @@
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// fakeFile registers a 100-line file and returns a Pos for each line.
+func fakeFile(fset *token.FileSet, name string) func(line int) token.Pos {
+	f := fset.AddFile(name, -1, 1000)
+	var lines []int
+	for off := 0; off < 1000; off += 10 {
+		lines = append(lines, off)
+	}
+	f.SetLines(lines)
+	return func(line int) token.Pos { return f.Pos((line - 1) * 10) }
+}
+
+func TestDiffWantsMatchesRenderedChain(t *testing.T) {
+	fset := token.NewFileSet()
+	at := fakeFile(fset, "a.go")
+	diags := []analysis.Diagnostic{{
+		Pos:     at(5),
+		Message: "call reaches the wall clock",
+		Chain:   []string{"tick", "helper", "time.Now at pkg/a.go:9"},
+	}}
+	wants := []*want{{
+		file: "a.go", line: 5,
+		re:  regexp.MustCompile(`reaches the wall clock \(via tick → helper → time\.Now at pkg/a\.go:9\)`),
+		raw: "…",
+	}}
+	if msgs := diffWants(fset, "wallclock", wants, diags); len(msgs) != 0 {
+		t.Fatalf("chain-matching want failed: %v", msgs)
+	}
+}
+
+func TestDiffWantsMissNamesAnalyzerAndNearest(t *testing.T) {
+	fset := token.NewFileSet()
+	at := fakeFile(fset, "a.go")
+	diags := []analysis.Diagnostic{
+		{Pos: at(7), Message: "rand.IntN draws from the process-global generator"},
+	}
+	wants := []*want{{
+		file: "a.go", line: 5,
+		re:  regexp.MustCompile("draws from"),
+		raw: "draws from",
+	}}
+	msgs := diffWants(fset, "globalrand", wants, diags)
+	if len(msgs) != 2 {
+		t.Fatalf("got %d messages %v, want unmatched-diag + missed-want", len(msgs), msgs)
+	}
+	miss := msgs[1]
+	for _, frag := range []string{
+		"a.go:5",
+		"expected globalrand diagnostic",
+		"got none",
+		"nearest globalrand finding: line 7: rand.IntN draws",
+	} {
+		if !strings.Contains(miss, frag) {
+			t.Errorf("miss message %q lacks %q", miss, frag)
+		}
+	}
+}
+
+func TestDiffWantsNoNearestInOtherFile(t *testing.T) {
+	fset := token.NewFileSet()
+	at := fakeFile(fset, "a.go")
+	_ = fakeFile(fset, "b.go") // wants live in b.go; all findings are in a.go
+	wants := []*want{{file: "b.go", line: 3, re: regexp.MustCompile("x"), raw: "x"}}
+	diags := []analysis.Diagnostic{{Pos: at(2), Message: "x marks the spot"}}
+	msgs := diffWants(fset, "mapiter", wants, diags)
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m, "expected mapiter diagnostic") {
+			found = true
+			if strings.Contains(m, "nearest") {
+				t.Errorf("nearest hint crossed files: %q", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missed want not reported: %v", msgs)
+	}
+}

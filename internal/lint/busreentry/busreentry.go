@@ -7,9 +7,12 @@
 // restructured (schedule the follow-up through the engine) or carry a
 // //lint:allow busreentry directive saying why the nesting is intended.
 //
-// The check is lexical: it sees only func literals passed directly at the
-// registration site, not named handler functions (those are assumed to be
-// reviewed entry points).
+// Handler scanning is lexical — only func literals passed directly at the
+// registration site are checked, not named handler functions (those are
+// assumed to be reviewed entry points) — but what the literal's body does
+// is checked interprocedurally: every reentrant bus call seeds a Publishes
+// fact, so a handler that publishes through a helper two calls deep is
+// flagged at the call with the chain down to the Bus.Publish.
 package busreentry
 
 import (
@@ -17,6 +20,7 @@ import (
 	"go/types"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -25,7 +29,8 @@ var Analyzer = &analysis.Analyzer{
 		"Publishing or (un)subscribing from within a handler passed to\n" +
 		"Bus.Subscribe or Bus.Tap nests deliveries; each such site needs\n" +
 		"review (the PR 2 bug class).",
-	Run: run,
+	Run:           run,
+	FactCollector: collect,
 }
 
 // registration describes how each Bus method receives its handler.
@@ -43,6 +48,26 @@ var reentrant = map[string]bool{
 	"Tap":       true,
 }
 
+// collect emits a Publishes origin for every delivery-affecting bus call,
+// in every package; the fact also feeds lockguard's held-across-Publish
+// check.
+func collect(pkg *facts.PkgInfo) []facts.Origin {
+	var out []facts.Origin
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := BusMethod(pkg.Info, call); ok && reentrant[name] {
+				out = append(out, facts.Origin{Kind: facts.Publishes, Pos: call.Pos(), Desc: "Bus." + name})
+			}
+			return true
+		})
+	}
+	return out
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	reported := make(map[*ast.CallExpr]bool)
 	for _, f := range pass.Files {
@@ -51,7 +76,7 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok {
 				return true
 			}
-			name, ok := busMethod(pass, call)
+			name, ok := BusMethod(pass.TypesInfo, call)
 			if !ok {
 				return true
 			}
@@ -65,18 +90,25 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			ast.Inspect(lit.Body, func(inner ast.Node) bool {
 				ic, ok := inner.(*ast.CallExpr)
-				if !ok {
+				if !ok || reported[ic] {
 					return true
 				}
-				iname, ok := busMethod(pass, ic)
-				if !ok || !reentrant[iname] || reported[ic] {
+				if iname, ok := BusMethod(pass.TypesInfo, ic); ok {
+					if reentrant[iname] {
+						reported[ic] = true
+						pass.Reportf(ic.Pos(),
+							"Bus.%s called inside a handler passed to Bus.%s: re-entrant bus calls nest deliveries (the PR 2 bug class); "+
+								"schedule the follow-up via the engine or annotate //lint:allow busreentry <reason>",
+							iname, name)
+					}
 					return true
 				}
-				reported[ic] = true
-				pass.Reportf(ic.Pos(),
-					"Bus.%s called inside a handler passed to Bus.%s: re-entrant bus calls nest deliveries (the PR 2 bug class); "+
-						"schedule the follow-up via the engine or annotate //lint:allow busreentry <reason>",
-					iname, name)
+				if fact, ok := pass.Facts.CallFact(ic, facts.Publishes); ok {
+					reported[ic] = true
+					pass.ReportTransitive(ic, fact,
+						"call re-enters the bus from inside a handler passed to Bus.%s: nested deliveries (the PR 2 bug class); "+
+							"schedule the follow-up via the engine", name)
+				}
 				return true
 			})
 			return true
@@ -85,15 +117,15 @@ func run(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// busMethod reports the method name when call invokes a method on the bus
+// BusMethod reports the method name when call invokes a method on the bus
 // package's Bus type (matched by package name and type name, so analyzer
 // testdata stubs qualify alongside repro/internal/bus).
-func busMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+func BusMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
-	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok {
 		return "", false
 	}

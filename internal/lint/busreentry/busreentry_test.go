@@ -8,5 +8,5 @@ import (
 )
 
 func TestBusReentry(t *testing.T) {
-	analysistest.Run(t, "testdata", busreentry.Analyzer, "det/busreentry")
+	analysistest.Run(t, "testdata", busreentry.Analyzer, "det/busreentry", "det/busreentrytrans")
 }

@@ -1,0 +1,29 @@
+// Package busreentrytrans exercises the interprocedural side of the
+// busreentry analyzer: the publish hides in a helper — same-package or
+// imported — and the handler is flagged at the helper call with the chain
+// down to the Bus.Publish site.
+package busreentrytrans
+
+import (
+	"det/bus"
+	"det/pubhelp"
+)
+
+func fanout(b *bus.Bus, ev bus.Event) {
+	b.Publish("fanout", ev.Payload) // not inside a handler: no direct finding
+}
+
+func flagged(b *bus.Bus) {
+	b.Subscribe("link.down", func(ev bus.Event) {
+		fanout(b, ev) // want `call re-enters the bus from inside a handler passed to Bus\.Subscribe.*\(via func@a\.go:\d+ → fanout → Bus\.Publish at busreentrytrans/a\.go:\d+\)`
+	})
+	b.Tap(func(ev bus.Event) {
+		pubhelp.Republish(b, ev) // want `call re-enters the bus from inside a handler passed to Bus\.Tap.*\(via func@a\.go:\d+ → Republish → Bus\.Publish at pubhelp/a\.go:\d+\)`
+	})
+}
+
+func allowed(b *bus.Bus) {
+	b.Subscribe("chain", func(ev bus.Event) {
+		pubhelp.Republish(b, ev) //lint:allow busreentry replay fan-out is publish-ordered by design
+	})
+}

@@ -1,0 +1,11 @@
+// Package pubhelp is a helper package that publishes on behalf of its
+// caller; the Publishes fact it exports lets busreentry flag handlers
+// that re-enter the bus through it.
+package pubhelp
+
+import "det/bus"
+
+// Republish forwards an event back onto the bus.
+func Republish(b *bus.Bus, ev bus.Event) {
+	b.Publish("replayed", ev.Payload)
+}

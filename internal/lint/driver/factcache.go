@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/detsort"
+	"repro/internal/lint/facts"
+	"repro/internal/lint/loader"
+)
+
+// cacheFile is the serialized fact store inside the -factcache directory.
+const cacheFile = "facts.json"
+
+// loadCache reads the fact cache, returning an empty one when the option
+// is unset, the file is absent, or its contents are unusable (a corrupt or
+// version-skewed cache only costs recomputation, never correctness).
+func loadCache(opts Options) facts.Serialized {
+	empty := facts.Serialized{Packages: map[string]facts.StoredPkg{}}
+	if opts.FactCache == "" {
+		return empty
+	}
+	b, err := os.ReadFile(filepath.Join(opts.FactCache, cacheFile))
+	if err != nil {
+		return empty
+	}
+	var s facts.Serialized
+	if err := json.Unmarshal(b, &s); err != nil || s.Version != facts.SerialVersion || s.Packages == nil {
+		if opts.Verbose {
+			fmt.Fprintf(opts.Stderr, "selfmaintlint: ignoring fact cache (version %d, err %v)\n", s.Version, err)
+		}
+		return empty
+	}
+	return s
+}
+
+// saveCache writes the store back to the cache directory, attaching each
+// package's fact-phase //lint:allow usage records so cache hits keep
+// -stale accurate.
+func saveCache(opts Options, store *facts.Store, usedByPkg map[string][]facts.UsedAllow) {
+	if opts.FactCache == "" {
+		return
+	}
+	out := store.Export()
+	for _, path := range detsort.Keys(usedByPkg) {
+		if sp, ok := out.Packages[path]; ok && len(usedByPkg[path]) > 0 {
+			sp.Used = usedByPkg[path]
+			out.Packages[path] = sp
+		}
+	}
+	b, err := json.MarshalIndent(out, "", " ")
+	if err == nil {
+		err = os.MkdirAll(opts.FactCache, 0o755)
+	}
+	if err == nil {
+		err = os.WriteFile(filepath.Join(opts.FactCache, cacheFile), b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(opts.Stderr, "selfmaintlint: writing fact cache: %v\n", err)
+	}
+}
+
+// pkgHash fingerprints one package's fact inputs: the serial version, its
+// source bytes, and the fact hashes of its direct imports (which chain
+// transitively, so an edit three packages down invalidates every
+// dependent). Returns "" when any input cannot be read — an unhashable
+// package is simply recomputed every run.
+func pkgHash(pkg *loader.Package, store *facts.Store) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "selfmaintlint facts v%d\npkg %s\n", facts.SerialVersion, pkg.Path)
+	var names []string
+	for _, f := range pkg.Files {
+		names = append(names, pkg.Fset.Position(f.Pos()).Filename)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(h, "file %s %d\n", filepath.Base(name), len(b))
+		h.Write(b)
+	}
+	var imps []string
+	for _, imp := range pkg.Types.Imports() {
+		imps = append(imps, imp.Path())
+	}
+	sort.Strings(imps)
+	for _, p := range imps {
+		// Export-data-only imports (the standard library) have no facts and
+		// hash as empty, which is stable.
+		fmt.Fprintf(h, "dep %s %s\n", p, store.CachedHash(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

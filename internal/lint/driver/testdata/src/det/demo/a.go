@@ -1,0 +1,21 @@
+// Package demo is the driver's end-to-end fixture: one direct finding,
+// one transitive finding with a chain, one suppressed finding, and one
+// stale directive for the -stale gate.
+package demo
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func tick() int64 {
+	return stamp()
+}
+
+func allowedTick() int64 {
+	return stamp() //lint:allow wallclock the demo transcript is wall-time stamped
+}
+
+//lint:allow mapiter never fires; the -stale gate reports it
+func unrelated() {}

@@ -1,0 +1,210 @@
+// Package errdrop flags discarded errors on the write paths the
+// self-maintenance loop cannot afford to lose: the exec, bus and flightrec
+// packages. A dropped flightrec write error silently truncates the
+// recording that replay-diff later depends on; a dropped exec error loses
+// an actuation failure the assessor should have seen. Anywhere else,
+// ignoring an error is a local style decision — on these packages it is a
+// correctness bug, so every discard must either handle the error or carry
+// a //lint:allow errdrop directive arguing why the loss is safe.
+//
+// Matching is by package name (bus, exec, flightrec), like the busreentry
+// Bus matcher, so analyzer testdata stubs qualify alongside the real
+// repro/internal packages.
+//
+// The check is interprocedural through WritePathError facts: a helper that
+// returns an error it obtained from a write path taints its own error
+// result, so discarding the helper's error is flagged too, with the chain
+// down to the originating call. The fact only propagates into functions
+// that themselves return an error — once a function swallows the error
+// internally, its callers have nothing left to drop.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded errors from exec/bus/flightrec write paths\n\n" +
+		"Errors returned by the actuation and recording packages carry\n" +
+		"failures the maintenance loop must observe; discarding one (as a\n" +
+		"bare call statement, a _ assignment, or a go/defer call) needs an\n" +
+		"explicit //lint:allow errdrop reason.",
+	Run:           run,
+	FactCollector: collect,
+}
+
+// writePkgs names the packages whose error returns are write-path losses
+// when dropped.
+var writePkgs = map[string]bool{"bus": true, "exec": true, "flightrec": true}
+
+// writePathCallee resolves call to a named function or method from a write
+// package that returns an error, yielding its display name ("flightrec.Close").
+func writePathCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ix.X
+	case *ast.IndexListExpr:
+		fun = ix.X
+	}
+	var fn *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[f.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || !writePkgs[fn.Pkg().Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !returnsError(sig) {
+		return "", false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), true
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// collect emits a WritePathError origin at every call of a write-package
+// error-returning function whose error is NOT discarded at the site — the
+// enclosing function is forwarding (or at least observing) the error, so
+// its own error result inherits the write-path provenance. Discarding
+// sites are the diagnostics, not the origins. The fact layer's
+// needsErrorReturn gate drops origins in functions without an error result.
+func collect(pkg *facts.PkgInfo) []facts.Origin {
+	drop := discardedCalls(pkg.Files)
+	var out []facts.Origin
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, dropped := drop[call]; dropped {
+				return true
+			}
+			if name, ok := writePathCallee(pkg.Info, call); ok {
+				out = append(out, facts.Origin{Kind: facts.WritePathError, Pos: call.Pos(), Desc: name})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Iterate files (not the map) so report order is position-stable.
+	drop := discardedCalls(pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			how, dropped := drop[call]
+			if !dropped {
+				return true
+			}
+			if name, ok := writePathCallee(pass.TypesInfo, call); ok {
+				pass.Reportf(call.Pos(),
+					"%s error discarded %s: write-path failures must be handled (or annotate //lint:allow errdrop <reason>)",
+					name, how)
+				return true
+			}
+			// The callee must return an error for there to be anything to
+			// drop; a void helper that handled the error internally is fine.
+			if !callReturnsError(pass.TypesInfo, call) {
+				return true
+			}
+			if fact, ok := pass.Facts.CallFact(call, facts.WritePathError); ok {
+				pass.ReportTransitive(call, fact,
+					"discarded error originates from a write path: handle it or annotate //lint:allow errdrop <reason>")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// callReturnsError reports whether the call's result tuple includes an
+// error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// discardedCalls maps each call whose error result is discarded to a short
+// description of how: a bare expression statement, a `_ =` assignment in
+// the error position, or a go/defer statement (whose results are always
+// dropped).
+func discardedCalls(files []*ast.File) map[*ast.CallExpr]string {
+	out := make(map[*ast.CallExpr]string)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					out[call] = "by a bare call statement"
+				}
+			case *ast.GoStmt:
+				out[s.Call] = "by a go statement"
+			case *ast.DeferStmt:
+				out[s.Call] = "by a defer statement"
+			case *ast.AssignStmt:
+				if call, ok := blankAssignedCall(s); ok {
+					out[call] = "into the blank identifier"
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// blankAssignedCall matches assignments whose RHS is a single call and
+// whose LHS drops every result into `_` (the common `_ = w.Flush()` shape;
+// a mixed `v, _ :=` keeps some results and is treated as observed, since
+// which position holds the error is a type-level question the want-simple
+// syntax check stays away from).
+func blankAssignedCall(s *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(s.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	for _, l := range s.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return nil, false
+		}
+	}
+	return call, true
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "det/errdrop")
+}

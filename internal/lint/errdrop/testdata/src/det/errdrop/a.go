@@ -1,0 +1,48 @@
+// Package errdrop exercises the errdrop analyzer: every way of discarding
+// a write-path error is flagged, error-forwarding helpers taint their
+// callers through WritePathError facts, and helpers that swallow the error
+// internally leave their callers clean.
+package errdrop
+
+import (
+	"det/flightrec"
+	"det/recwrap"
+)
+
+func flagged(r *flightrec.Recorder) {
+	r.Append("ev")    // want `flightrec\.Append error discarded by a bare call statement`
+	_ = r.Close()     // want `flightrec\.Close error discarded into the blank identifier`
+	defer r.Close()   // want `flightrec\.Close error discarded by a defer statement`
+	go r.Append("bg") // want `flightrec\.Append error discarded by a go statement`
+}
+
+func forward(r *flightrec.Recorder) error {
+	return r.Append("fwd")
+}
+
+func transitive(r *flightrec.Recorder) {
+	_ = forward(r)       // want `discarded error originates from a write path.*\(via transitive → forward → flightrec\.Append at errdrop/a\.go:\d+\)`
+	_ = recwrap.Flush(r) // want `discarded error originates from a write path.*\(via transitive → Flush → flightrec\.Close at recwrap/a\.go:\d+\)`
+}
+
+func handled(r *flightrec.Recorder) error {
+	if err := r.Append("ok"); err != nil {
+		return err
+	}
+	return r.Close()
+}
+
+func swallowed(r *flightrec.Recorder) {
+	if err := r.Append("logged"); err != nil {
+		_ = err // the helper observes the error itself: no fact survives
+	}
+}
+
+func callsSwallowed(r *flightrec.Recorder) {
+	swallowed(r) // void helper: there is no error left to drop
+}
+
+func allowed(r *flightrec.Recorder) {
+	r.Append("best-effort") //lint:allow errdrop shutdown path tolerates a lost trailer
+	_ = forward(r)          //lint:allow errdrop replay smoke test only cares about liveness
+}

@@ -1,0 +1,9 @@
+// Package flightrec is a stub of repro/internal/flightrec for the errdrop
+// testdata: the analyzer matches write packages by name, so this stub
+// stands in for the real recorder.
+package flightrec
+
+type Recorder struct{}
+
+func (r *Recorder) Append(ev string) error { return nil }
+func (r *Recorder) Close() error           { return nil }

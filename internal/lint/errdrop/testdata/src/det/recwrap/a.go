@@ -1,0 +1,10 @@
+// Package recwrap forwards recorder errors to its caller; the
+// WritePathError fact it exports flags callers that drop them.
+package recwrap
+
+import "det/flightrec"
+
+// Flush closes the recorder and returns its error.
+func Flush(r *flightrec.Recorder) error {
+	return r.Close()
+}

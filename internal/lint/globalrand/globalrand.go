@@ -7,13 +7,19 @@
 // named sim streams. Constructors (rand.New, rand.NewPCG, rand.NewSource,
 // rand.NewZipf, rand.NewChaCha8) are exactly how seeded generators are
 // built and stay legal, as do methods on a *rand.Rand value.
+//
+// The rule is enforced transitively through the fact layer: a helper that
+// wraps a global draw taints every caller, and the diagnostic at the call
+// site carries the chain down to the draw.
 package globalrand
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 )
 
 var constructors = map[string]bool{
@@ -30,34 +36,65 @@ var Analyzer = &analysis.Analyzer{
 		"Randomness must come from an explicitly seeded *rand.Rand (in\n" +
 		"simulation code, a sim.Engine stream); the process-global source\n" +
 		"couples every caller's sequence to every other's.",
-	Run: run,
+	Run:           run,
+	FactCollector: collect,
 }
 
-func run(pass *analysis.Pass) (any, error) {
-	for _, f := range pass.Files {
+// sites invokes fn for every package-level math/rand use in the files.
+func sites(info *types.Info, files []*ast.File, fn func(sel *ast.SelectorExpr, name string)) {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
-			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil {
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
 				return true
 			}
-			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+			if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
 				return true
 			}
 			// Methods (sig.Recv() != nil) are draws on an explicit
 			// generator; only package-level functions touch global state.
-			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
 				return true
 			}
-			if constructors[fn.Name()] {
+			if constructors[obj.Name()] {
 				return true
 			}
-			pass.Reportf(sel.Pos(),
-				"rand.%s draws from the process-global generator; use a seeded *rand.Rand (sim.Engine.RNG stream) instead",
-				fn.Name())
+			fn(sel, obj.Name())
+			return true
+		})
+	}
+}
+
+func collect(pkg *facts.PkgInfo) []facts.Origin {
+	var out []facts.Origin
+	sites(pkg.Info, pkg.Files, func(sel *ast.SelectorExpr, name string) {
+		out = append(out, facts.Origin{Kind: facts.ReachesGlobalRand, Pos: sel.Pos(), Desc: "rand." + name})
+	})
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sites(pass.TypesInfo, pass.Files, func(sel *ast.SelectorExpr, name string) {
+		pass.Reportf(sel.Pos(),
+			"rand.%s draws from the process-global generator; use a seeded *rand.Rand (sim.Engine.RNG stream) instead",
+			name)
+	})
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || reported[call.Pos()] {
+				return true
+			}
+			if fact, ok := pass.Facts.CallFact(call, facts.ReachesGlobalRand); ok {
+				reported[call.Pos()] = true
+				pass.ReportTransitive(call, fact,
+					"call draws from the process-global rand generator; thread a seeded *rand.Rand instead")
+			}
 			return true
 		})
 	}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestGlobalRand(t *testing.T) {
-	analysistest.Run(t, "testdata", globalrand.Analyzer, "det/globalrand", "harness/globalrand")
+	analysistest.Run(t, "testdata", globalrand.Analyzer, "det/globalrand", "det/globalrandtrans", "harness/globalrand")
 }

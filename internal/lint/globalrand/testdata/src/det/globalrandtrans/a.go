@@ -1,0 +1,30 @@
+// Package globalrandtrans exercises the interprocedural side of the
+// globalrand analyzer: the global draw hides in a helper and the caller
+// is flagged at the call with the chain.
+package globalrandtrans
+
+import (
+	"math/rand/v2"
+
+	"harness/randhelp"
+)
+
+func pick() int {
+	return rand.IntN(6) // want `rand\.IntN draws from the process-global generator`
+}
+
+func roll() int {
+	return pick() // want `call draws from the process-global rand generator.*\(via roll → pick → rand\.IntN at globalrandtrans/a\.go:\d+\)`
+}
+
+func jittered() int {
+	return randhelp.Jitter() // want `call draws from the process-global rand generator.*\(via jittered → Jitter → rand\.IntN at randhelp/a\.go:\d+\)`
+}
+
+func seeded(rng *rand.Rand) int {
+	return rng.IntN(6) // method on an explicit generator: no fact, no finding
+}
+
+func allowed() int {
+	return pick() //lint:allow globalrand demo path tolerates nondeterministic jitter
+}

@@ -1,0 +1,10 @@
+// Package randhelp models harness code that draws from the process-global
+// generator; the ReachesGlobalRand fact flags its callers transitively.
+package randhelp
+
+import "math/rand/v2"
+
+// Jitter returns a global-generator draw.
+func Jitter() int {
+	return rand.IntN(100) // flagged only when this package is the lint target
+}

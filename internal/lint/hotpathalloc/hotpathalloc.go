@@ -16,10 +16,13 @@
 //   - func literals inside a loop that capture the loop variable (each
 //     iteration allocates a fresh closure)
 //
-// The check is intraprocedural and syntactic: it cannot see escape
-// analysis, so deliberate cold-branch allocations (free-list refill, cache
-// miss) carry a //lint:allow hotpathalloc directive with the amortization
-// argument.
+// Site detection is syntactic (it cannot see escape analysis, so
+// deliberate cold-branch allocations — free-list refill, cache miss —
+// carry a //lint:allow hotpathalloc directive with the amortization
+// argument), but the check itself is interprocedural: every function's
+// allocation sites become Allocates facts, so a hotpath function calling a
+// helper that allocates three frames down is flagged at the call with the
+// chain to the exact make().
 package hotpathalloc
 
 import (
@@ -29,6 +32,7 @@ import (
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/facts"
 )
 
 // Directive marks a function whose body this analyzer checks.
@@ -38,12 +42,42 @@ var Analyzer = &analysis.Analyzer{
 	Name: "hotpathalloc",
 	Doc: "flag allocation sites in //selfmaint:hotpath functions\n\n" +
 		"Annotated functions back zero-alloc AllocsPerRun assertions;\n" +
-		"this check points at the exact line a new allocation enters.",
-	Run: run,
+		"this check points at the exact line a new allocation enters,\n" +
+		"including allocations reached through callees.",
+	Run:           run,
+	FactCollector: collect,
 }
 
 var fmtAllocs = map[string]bool{
 	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+// site is one detected allocation: desc is the short name used as a fact
+// chain tail ("make"), msg the full direct-diagnostic message.
+type site struct {
+	pos  token.Pos
+	desc string
+	msg  string
+}
+
+// collect runs the allocation checker over every function of the package —
+// hotpath or not — and exports each site as an Allocates fact origin; the
+// invariant is enforced where a hotpath function consumes the fact.
+func collect(pkg *facts.PkgInfo) []facts.Origin {
+	var out []facts.Origin
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c := &checker{info: pkg.Info, params: paramObjs(pkg.Info, fd), emit: func(s site) {
+				out = append(out, facts.Origin{Kind: facts.Allocates, Pos: s.pos, Desc: s.desc})
+			}}
+			c.check(fd.Body, 0)
+		}
+	}
+	return out
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -53,10 +87,33 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fd.Body == nil || !isHotPath(fd) {
 				continue
 			}
-			(&checker{pass: pass, params: paramObjs(pass, fd)}).check(fd.Body, 0)
+			c := &checker{info: pass.TypesInfo, params: paramObjs(pass.TypesInfo, fd), emit: func(s site) {
+				pass.Reportf(s.pos, "%s", s.msg)
+			}}
+			c.check(fd.Body, 0)
+			reportTransitive(pass, fd.Body)
 		}
 	}
 	return nil, nil
+}
+
+// reportTransitive flags calls in a hotpath body whose callee carries an
+// Allocates fact, at any loop depth: a helper that allocates once per call
+// is on the hot path as soon as the hot path calls it.
+func reportTransitive(pass *analysis.Pass, body *ast.BlockStmt) {
+	reported := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || reported[call.Pos()] {
+			return true
+		}
+		if fact, ok := pass.Facts.CallFact(call, facts.Allocates); ok {
+			reported[call.Pos()] = true
+			pass.ReportTransitive(call, fact,
+				"call allocates in a //selfmaint:hotpath function; hoist the allocation off the hot path")
+		}
+		return true
+	})
 }
 
 // isHotPath reports whether the declaration carries the hotpath directive.
@@ -75,7 +132,7 @@ func isHotPath(fd *ast.FuncDecl) bool {
 // paramObjs collects the parameter (and receiver) objects of fd: appending
 // to a caller-provided buffer is the intended zero-alloc pattern, so those
 // destinations are exempt from the append rule.
-func paramObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+func paramObjs(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
 	objs := make(map[types.Object]bool)
 	addFields := func(fl *ast.FieldList) {
 		if fl == nil {
@@ -83,7 +140,7 @@ func paramObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
 		}
 		for _, field := range fl.List {
 			for _, name := range field.Names {
-				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				if obj := info.Defs[name]; obj != nil {
 					objs[obj] = true
 				}
 			}
@@ -94,11 +151,12 @@ func paramObjs(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
 	return objs
 }
 
-// checker walks one hotpath function body tracking loop nesting and the
-// loop variables currently in scope.
+// checker walks one function body tracking loop nesting and the loop
+// variables currently in scope, emitting each detected allocation site.
 type checker struct {
-	pass     *analysis.Pass
+	info     *types.Info
 	params   map[types.Object]bool
+	emit     func(site)
 	loopVars []types.Object
 }
 
@@ -122,7 +180,7 @@ func (c *checker) check(n ast.Node, depth int) {
 		mark := len(c.loopVars)
 		for _, e := range []ast.Expr{n.Key, n.Value} {
 			if id, ok := e.(*ast.Ident); ok {
-				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				if obj := c.info.Defs[id]; obj != nil {
 					c.loopVars = append(c.loopVars, obj)
 				}
 			}
@@ -161,20 +219,21 @@ func (c *checker) check(n ast.Node, depth int) {
 func (c *checker) checkCall(call *ast.CallExpr, depth int) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
-		if b, ok := c.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+		if b, ok := c.info.Uses[fun].(*types.Builtin); ok {
 			switch b.Name() {
 			case "make":
-				c.pass.Reportf(call.Pos(), "make allocates in a //selfmaint:hotpath function; reuse a retained buffer or free list")
+				c.emit(site{call.Pos(), "make", "make allocates in a //selfmaint:hotpath function; reuse a retained buffer or free list"})
 			case "new":
-				c.pass.Reportf(call.Pos(), "new allocates in a //selfmaint:hotpath function; reuse a retained struct or free list")
+				c.emit(site{call.Pos(), "new", "new allocates in a //selfmaint:hotpath function; reuse a retained struct or free list"})
 			case "append":
 				c.checkAppend(call, depth)
 			}
 		}
 	case *ast.SelectorExpr:
-		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok &&
+		if fn, ok := c.info.Uses[fun.Sel].(*types.Func); ok &&
 			fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fmtAllocs[fn.Name()] {
-			c.pass.Reportf(call.Pos(), "fmt.%s allocates in a //selfmaint:hotpath function; format off the hot path", fn.Name())
+			c.emit(site{call.Pos(), "fmt." + fn.Name(),
+				"fmt." + fn.Name() + " allocates in a //selfmaint:hotpath function; format off the hot path"})
 		}
 	}
 }
@@ -187,28 +246,30 @@ func (c *checker) checkAppend(call *ast.CallExpr, depth int) {
 		return
 	}
 	if id, ok := call.Args[0].(*ast.Ident); ok {
-		if obj := c.pass.TypesInfo.Uses[id]; obj != nil && c.params[obj] {
+		if obj := c.info.Uses[id]; obj != nil && c.params[obj] {
 			return
 		}
 	}
-	c.pass.Reportf(call.Pos(), "append to a non-parameter slice inside a loop in a //selfmaint:hotpath function; grow a reused buffer instead")
+	c.emit(site{call.Pos(), "append in loop",
+		"append to a non-parameter slice inside a loop in a //selfmaint:hotpath function; grow a reused buffer instead"})
 }
 
 // checkComposite flags map/slice literals, and struct literals when their
 // address is taken (&T{...} escapes to the heap at this site).
 func (c *checker) checkComposite(lit *ast.CompositeLit, addressed bool) {
-	t := c.pass.TypesInfo.TypeOf(lit)
+	t := c.info.TypeOf(lit)
 	if t == nil {
 		return
 	}
 	switch t.Underlying().(type) {
 	case *types.Map:
-		c.pass.Reportf(lit.Pos(), "map literal allocates in a //selfmaint:hotpath function")
+		c.emit(site{lit.Pos(), "map literal", "map literal allocates in a //selfmaint:hotpath function"})
 	case *types.Slice:
-		c.pass.Reportf(lit.Pos(), "slice literal allocates in a //selfmaint:hotpath function")
+		c.emit(site{lit.Pos(), "slice literal", "slice literal allocates in a //selfmaint:hotpath function"})
 	default:
 		if addressed {
-			c.pass.Reportf(lit.Pos(), "&composite literal allocates in a //selfmaint:hotpath function; reuse a retained struct")
+			c.emit(site{lit.Pos(), "&composite literal",
+				"&composite literal allocates in a //selfmaint:hotpath function; reuse a retained struct"})
 		}
 	}
 }
@@ -217,9 +278,10 @@ func (c *checker) checkStringConcat(b *ast.BinaryExpr, depth int) {
 	if depth == 0 || b.Op != token.ADD {
 		return
 	}
-	if t := c.pass.TypesInfo.TypeOf(b); t != nil {
+	if t := c.info.TypeOf(b); t != nil {
 		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
-			c.pass.Reportf(b.Pos(), "string concatenation inside a loop allocates in a //selfmaint:hotpath function")
+			c.emit(site{b.Pos(), "string concat in loop",
+				"string concatenation inside a loop allocates in a //selfmaint:hotpath function"})
 		}
 	}
 }
@@ -228,9 +290,10 @@ func (c *checker) checkStringConcatAssign(a *ast.AssignStmt, depth int) {
 	if depth == 0 || a.Tok != token.ADD_ASSIGN || len(a.Lhs) != 1 {
 		return
 	}
-	if t := c.pass.TypesInfo.TypeOf(a.Lhs[0]); t != nil {
+	if t := c.info.TypeOf(a.Lhs[0]); t != nil {
 		if basic, ok := t.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
-			c.pass.Reportf(a.Pos(), "string += inside a loop allocates in a //selfmaint:hotpath function")
+			c.emit(site{a.Pos(), "string += in loop",
+				"string += inside a loop allocates in a //selfmaint:hotpath function"})
 		}
 	}
 }
@@ -247,7 +310,7 @@ func (c *checker) checkClosure(lit *ast.FuncLit, depth int) {
 		if !ok || captured != "" {
 			return captured == ""
 		}
-		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		if obj := c.info.Uses[id]; obj != nil {
 			for _, lv := range c.loopVars {
 				if obj == lv {
 					captured = id.Name
@@ -258,7 +321,8 @@ func (c *checker) checkClosure(lit *ast.FuncLit, depth int) {
 		return true
 	})
 	if captured != "" {
-		c.pass.Reportf(lit.Pos(), "closure captures loop variable %q in a //selfmaint:hotpath function: one allocation per iteration", captured)
+		c.emit(site{lit.Pos(), "closure capture",
+			"closure captures loop variable \"" + captured + "\" in a //selfmaint:hotpath function: one allocation per iteration"})
 	}
 }
 
@@ -270,7 +334,7 @@ func (c *checker) noteLoopVars(init ast.Stmt) {
 	}
 	for _, l := range assign.Lhs {
 		if id, ok := l.(*ast.Ident); ok {
-			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			if obj := c.info.Defs[id]; obj != nil {
 				c.loopVars = append(c.loopVars, obj)
 			}
 		}

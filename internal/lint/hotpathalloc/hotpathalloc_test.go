@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotPathAlloc(t *testing.T) {
-	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "det/hotpathalloc")
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "det/hotpathalloc", "det/hotpathalloctrans")
 }

@@ -1,0 +1,28 @@
+// Package hotpathalloctrans exercises the interprocedural side of the
+// hotpathalloc analyzer: the allocation hides in a helper — same-package
+// or imported — and the hot-path caller is flagged at the call with the
+// chain down to the allocation site.
+package hotpathalloctrans
+
+import "harness/allochelp"
+
+func scratch(n int) []int {
+	return make([]int, n) // not a hot-path function itself: no direct finding
+}
+
+func viaScratch(n int) []int {
+	return scratch(n) // not hot-path either: only the fact propagates
+}
+
+//selfmaint:hotpath
+func flagged(n int) int {
+	buf := scratch(n)     // want `call allocates in a //selfmaint:hotpath function.*\(via flagged → scratch → make at hotpathalloctrans/a\.go:\d+\)`
+	two := viaScratch(n)  // want `call allocates in a //selfmaint:hotpath function.*\(via flagged → viaScratch → scratch → make at hotpathalloctrans/a\.go:\d+\)`
+	p := allochelp.Box(n) // want `call allocates in a //selfmaint:hotpath function.*\(via flagged → Box → new at allochelp/a\.go:\d+\)`
+	return len(buf) + len(two) + *p
+}
+
+//selfmaint:hotpath
+func allowed(n int) []int {
+	return scratch(n) //lint:allow hotpathalloc scratch buffer is amortized by the caller pool
+}

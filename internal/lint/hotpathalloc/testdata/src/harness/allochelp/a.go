@@ -1,0 +1,10 @@
+// Package allochelp is helper code that allocates; the Allocates fact it
+// exports flags hot-path callers at their call site.
+package allochelp
+
+// Box heap-allocates its argument.
+func Box(v int) *int {
+	p := new(int)
+	*p = v
+	return p
+}

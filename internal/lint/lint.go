@@ -1,16 +1,19 @@
-// Package lint registers the selfmaintlint analyzer suite: the six
-// machine-enforced determinism and hot-path invariants behind the repo's
-// byte-identical fixed-seed guarantee. cmd/selfmaintlint runs them as a CI
-// gate; DESIGN.md ("Determinism invariants") documents each rule and how to
-// add the next one.
+// Package lint registers the selfmaintlint analyzer suite: the eight
+// machine-enforced determinism, hot-path, and concurrency invariants behind
+// the repo's byte-identical fixed-seed guarantee. cmd/selfmaintlint runs
+// them as a CI gate; DESIGN.md ("Determinism invariants") documents each
+// rule, the interprocedural fact layer they share, and how to add the next
+// one.
 package lint
 
 import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/busreentry"
 	"repro/internal/lint/crossshard"
+	"repro/internal/lint/errdrop"
 	"repro/internal/lint/globalrand"
 	"repro/internal/lint/hotpathalloc"
+	"repro/internal/lint/lockguard"
 	"repro/internal/lint/mapiter"
 	"repro/internal/lint/wallclock"
 )
@@ -24,6 +27,8 @@ func Analyzers() []*analysis.Analyzer {
 		busreentry.Analyzer,
 		hotpathalloc.Analyzer,
 		crossshard.Analyzer,
+		lockguard.Analyzer,
+		errdrop.Analyzer,
 	}
 }
 

@@ -58,12 +58,13 @@ type Config struct {
 
 // loadState carries the caches shared by every package of one Load call.
 type loadState struct {
-	cfg     Config
-	fset    *token.FileSet
-	exports map[string]string         // import path -> export data file
-	gc      types.Importer            // export-data importer
-	srcPkgs map[string]*types.Package // packages type-checked from source
-	listed  map[string]bool           // import paths already resolved via go list
+	cfg       Config
+	fset      *token.FileSet
+	exports   map[string]string         // import path -> export data file
+	gc        types.Importer            // export-data importer
+	srcPkgs   map[string]*types.Package // packages type-checked from source
+	srcLoaded []*Package                // source-checked dependencies, in completion (dependency) order
+	listed    map[string]bool           // import paths already resolved via go list
 }
 
 // Load lists patterns with the go command and returns the matched packages,
@@ -92,21 +93,29 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 
 // LoadSource loads the single package at importPath via the configured
 // SrcRoots, resolving its imports recursively (source roots first, then
-// export data fetched on demand with `go list`).
-func LoadSource(cfg Config, importPath string) (*Package, error) {
+// export data fetched on demand with `go list`). The second return value
+// lists the dependencies that were themselves type-checked from source, in
+// dependency order — the fact layer analyzes those before the target so
+// transitive facts flow across testdata package boundaries exactly as they
+// do across real ones.
+func LoadSource(cfg Config, importPath string) (*Package, []*Package, error) {
 	st, err := newState(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	dir, ok := st.resolveSrc(importPath)
 	if !ok {
-		return nil, fmt.Errorf("loader: %q does not resolve under any source root", importPath)
+		return nil, nil, fmt.Errorf("loader: %q does not resolve under any source root", importPath)
 	}
 	names, err := goFilesIn(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return st.checkDir(importPath, dir, names)
+	pkg, err := st.checkDir(importPath, dir, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, st.srcLoaded, nil
 }
 
 func newState(cfg Config) (*loadState, error) {
@@ -222,6 +231,7 @@ func (st *loadState) importPath(path string) (*types.Package, error) {
 			return nil, err
 		}
 		st.srcPkgs[path] = checked.Types
+		st.srcLoaded = append(st.srcLoaded, checked)
 		return checked.Types, nil
 	}
 	if _, ok := st.exports[path]; !ok && !st.listed[path] {

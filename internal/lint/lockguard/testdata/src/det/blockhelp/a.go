@@ -1,0 +1,8 @@
+// Package blockhelp is helper code that blocks; the Blocks fact it
+// exports flags bus handlers that call into it.
+package blockhelp
+
+// Drain blocks on a channel receive.
+func Drain(ch chan int) int {
+	return <-ch
+}

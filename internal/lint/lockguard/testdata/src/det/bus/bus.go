@@ -1,0 +1,23 @@
+// Package bus is a stub of repro/internal/bus for the lockguard testdata:
+// the analyzer matches the Bus type by package and type name, so this stub
+// exercises it without importing the real simulation packages.
+package bus
+
+type Topic string
+
+type Event struct {
+	Topic   Topic
+	Payload any
+}
+
+type Handler func(Event)
+
+type Subscription struct{}
+
+func (s *Subscription) Cancel() {}
+
+type Bus struct{}
+
+func (b *Bus) Subscribe(t Topic, fn Handler) *Subscription { return &Subscription{} }
+func (b *Bus) Tap(fn Handler) *Subscription                { return &Subscription{} }
+func (b *Bus) Publish(t Topic, payload any) Event          { return Event{Topic: t, Payload: payload} }

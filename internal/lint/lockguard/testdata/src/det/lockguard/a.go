@@ -1,0 +1,116 @@
+// Package lockguard exercises the three lockguard checks: guarded-field
+// access, publish-under-lock (direct and via a Publishes fact), and
+// blocking bus handlers (direct and via a Blocks fact).
+package lockguard
+
+import (
+	"sync"
+
+	"det/blockhelp"
+	"det/bus"
+)
+
+type server struct {
+	mu sync.Mutex
+	// events is the ring the tap handler appends to.
+	events []string //selfmaint:guardedby mu
+	b      *bus.Bus
+}
+
+func (s *server) flaggedAccess() int {
+	return len(s.events) // want `field events is annotated //selfmaint:guardedby mu but is accessed without holding s\.mu`
+}
+
+func (s *server) lockedAccess() int {
+	s.mu.Lock()
+	n := len(s.events)
+	s.mu.Unlock()
+	return n
+}
+
+func (s *server) deferUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+func (s *server) unlockThenTouch() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.events = nil // want `field events is annotated //selfmaint:guardedby mu but is accessed without holding s\.mu`
+}
+
+func (s *server) branchScoped(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.events = append(s.events, "x")
+		s.mu.Unlock()
+	}
+	s.events = nil // want `accessed without holding s\.mu`
+}
+
+func (s *server) otherReceiverPath(t *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.events = nil // want `accessed without holding t\.mu`
+}
+
+func (s *server) publishUnderLock(ev string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.Publish("evt", ev) // want `Bus\.Publish called while s\.mu is held`
+}
+
+func (s *server) publishAfterUnlock(ev string) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.b.Publish("evt", ev)
+}
+
+func (s *server) publishViaHelper(ev string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	repost(s.b, ev) // want `call publishes to the bus while s\.mu is held.*\(via server\.publishViaHelper → repost → Bus\.Publish at lockguard/a\.go:\d+\)`
+}
+
+func repost(b *bus.Bus, ev string) {
+	b.Publish("repost", ev)
+}
+
+func (s *server) allowedPublish(ev string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b.Publish("evt", ev) //lint:allow lockguard handlers on this topic only read immutable payloads
+}
+
+func handlerChecks(b *bus.Bus, s *server, ch chan int) {
+	b.Subscribe("t", func(ev bus.Event) {
+		ch <- 1     // want `channel send inside a handler passed to Bus\.Subscribe`
+		<-ch        // want `channel receive inside a handler passed to Bus\.Subscribe`
+		s.mu.Lock() // want `s\.mu\.Lock inside a handler passed to Bus\.Subscribe`
+		s.mu.Unlock()
+		blockhelp.Drain(ch)     // want `call blocks inside a handler passed to Bus\.Subscribe.*\(via func@a\.go:\d+ → Drain → channel receive at blockhelp/a\.go:\d+\)`
+		go func() { ch <- 2 }() // goroutine hand-off: the sanctioned non-blocking shape
+	})
+}
+
+func allowedHandler(b *bus.Bus, s *server) {
+	b.Tap(func(ev bus.Event) {
+		//lint:allow lockguard the publisher is the single-threaded engine loop
+		s.mu.Lock()
+		s.events = append(s.events, "tap")
+		s.mu.Unlock()
+	})
+}
+
+type typo struct {
+	mu sync.Mutex
+	//selfmaint:guardedby mux
+	state int // want `//selfmaint:guardedby mux names no sibling field of this struct`
+}
+
+func (t *typo) use() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}

@@ -15,6 +15,11 @@
 // Everything else must either iterate detsort.Keys(m) (the suggested fix
 // where the rewrite is mechanical) or carry a //lint:allow mapiter
 // directive arguing why order cannot reach the output.
+//
+// Order-sensitive ranges are also exported as IteratesMapUnordered facts,
+// so a deterministic package calling a helper — in any package — whose body
+// hides such a range is flagged at the call site with the chain down to the
+// loop.
 package mapiter
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/facts"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -34,40 +40,72 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "flag order-sensitive map iteration in deterministic packages\n\n" +
 		"Ranging over a map visits keys in randomized order; unless the body\n" +
 		"is provably order-insensitive, iterate detsort.Keys(m) instead.",
-	Run: run,
+	Run:           run,
+	FactCollector: collect,
 }
 
-func run(pass *analysis.Pass) (any, error) {
-	if !determinism.Deterministic(pass.Pkg.Path()) {
-		return nil, nil
-	}
-	for _, f := range pass.Files {
+// sites invokes fn for every order-sensitive map range in the files.
+func sites(info *types.Info, files []*ast.File, fn func(rs *ast.RangeStmt)) {
+	for _, f := range files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
 			if !ok {
 				return true
 			}
-			t := pass.TypesInfo.TypeOf(rs.X)
+			t := info.TypeOf(rs.X)
 			if t == nil {
 				return true
 			}
 			if _, isMap := t.Underlying().(*types.Map); !isMap {
 				return true
 			}
-			if orderInsensitiveBody(pass, rs) {
+			if orderInsensitiveBody(info, rs) {
 				return true
 			}
-			d := analysis.Diagnostic{
-				Pos: rs.Pos(),
-				End: rs.X.End(),
-				Message: fmt.Sprintf(
-					"map iteration order is randomized and this loop body is not provably order-insensitive; "+
-						"range over detsort.Keys(%s) or annotate //lint:allow mapiter <reason>", exprString(pass.Fset, rs.X)),
+			fn(rs)
+			return true
+		})
+	}
+}
+
+func collect(pkg *facts.PkgInfo) []facts.Origin {
+	var out []facts.Origin
+	sites(pkg.Info, pkg.Files, func(rs *ast.RangeStmt) {
+		out = append(out, facts.Origin{Kind: facts.IteratesMapUnordered, Pos: rs.Pos(), Desc: "map range"})
+	})
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !determinism.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	sites(pass.TypesInfo, pass.Files, func(rs *ast.RangeStmt) {
+		d := analysis.Diagnostic{
+			Pos: rs.Pos(),
+			End: rs.X.End(),
+			Message: fmt.Sprintf(
+				"map iteration order is randomized and this loop body is not provably order-insensitive; "+
+					"range over detsort.Keys(%s) or annotate //lint:allow mapiter <reason>", exprString(pass.Fset, rs.X)),
+		}
+		if fix, ok := keysFix(pass, rs); ok {
+			d.SuggestedFixes = []analysis.SuggestedFix{fix}
+		}
+		pass.Report(d)
+	})
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || reported[call.Pos()] {
+				return true
 			}
-			if fix, ok := keysFix(pass, rs); ok {
-				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			if fact, ok := pass.Facts.CallFact(call, facts.IteratesMapUnordered); ok {
+				reported[call.Pos()] = true
+				pass.ReportTransitive(call, fact,
+					"call iterates a map in randomized order in deterministic package %s; sort keys with detsort.Keys at the range",
+					pass.Pkg.Path())
 			}
-			pass.Report(d)
 			return true
 		})
 	}
@@ -108,29 +146,29 @@ func ordered(t types.Type) bool {
 // one of the recognized commutative forms. The check is syntactic and
 // deliberately conservative: any call (other than delete), branch, or float
 // accumulation fails it.
-func orderInsensitiveBody(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+func orderInsensitiveBody(info *types.Info, rs *ast.RangeStmt) bool {
 	for _, stmt := range rs.Body.List {
-		if !orderInsensitiveStmt(pass, rs, stmt) {
+		if !orderInsensitiveStmt(info, rs, stmt) {
 			return false
 		}
 	}
 	return true
 }
 
-func orderInsensitiveStmt(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt) bool {
+func orderInsensitiveStmt(info *types.Info, rs *ast.RangeStmt, stmt ast.Stmt) bool {
 	switch s := stmt.(type) {
 	case *ast.IncDecStmt:
 		// x++ adds a constant per visit: the total is order-independent
 		// even for floats.
-		return pureExpr(pass, s.X)
+		return pureExpr(info, s.X)
 	case *ast.AssignStmt:
-		return orderInsensitiveAssign(pass, rs, s)
+		return orderInsensitiveAssign(info, rs, s)
 	case *ast.ExprStmt:
 		// delete(m2, k) commutes across distinct keys (and is idempotent
 		// on the same key).
 		if call, ok := s.X.(*ast.CallExpr); ok {
 			if id, ok := call.Fun.(*ast.Ident); ok {
-				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
 					return true
 				}
 			}
@@ -138,7 +176,7 @@ func orderInsensitiveStmt(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt)
 		return false
 	case *ast.BlockStmt:
 		for _, inner := range s.List {
-			if !orderInsensitiveStmt(pass, rs, inner) {
+			if !orderInsensitiveStmt(info, rs, inner) {
 				return false
 			}
 		}
@@ -150,16 +188,16 @@ func orderInsensitiveStmt(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt)
 	}
 }
 
-func orderInsensitiveAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+func orderInsensitiveAssign(info *types.Info, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
 	switch s.Tok {
 	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
-		if len(s.Lhs) != 1 || !pureExpr(pass, s.Rhs[0]) {
+		if len(s.Lhs) != 1 || !pureExpr(info, s.Rhs[0]) {
 			return false
 		}
 		// A per-key update of a map element (m[k] *= x) touches one key per
 		// visit with no cross-key accumulator, so any element type is safe.
 		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
-			if t := pass.TypesInfo.TypeOf(ix.X); t != nil {
+			if t := info.TypeOf(ix.X); t != nil {
 				if _, isMap := t.Underlying().(*types.Map); isMap {
 					return true
 				}
@@ -168,7 +206,7 @@ func orderInsensitiveAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.Assig
 		// Accumulation into a single variable is commutative-and-associative
 		// only over integers: float + and * round differently under
 		// reassociation, string + concatenates in visit order.
-		t := pass.TypesInfo.TypeOf(s.Lhs[0])
+		t := info.TypeOf(s.Lhs[0])
 		if t == nil {
 			return false
 		}
@@ -176,11 +214,11 @@ func orderInsensitiveAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.Assig
 		return ok && b.Info()&types.IsInteger != 0
 	case token.ASSIGN, token.DEFINE:
 		// keys = append(keys, k): the collect-then-sort idiom.
-		if len(s.Lhs) == 1 && len(s.Rhs) == 1 && isKeyCollect(pass, rs, s) {
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 && isKeyCollect(info, rs, s) {
 			return true
 		}
 		// m2[expr] = pure: writes to a map land keyed, not ordered.
-		if s.Tok == token.ASSIGN && allMapIndexWrites(pass, s) {
+		if s.Tok == token.ASSIGN && allMapIndexWrites(info, s) {
 			return true
 		}
 		return false
@@ -190,7 +228,7 @@ func orderInsensitiveAssign(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.Assig
 }
 
 // isKeyCollect matches `dst = append(dst, k)` where k is the range key.
-func isKeyCollect(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+func isKeyCollect(info *types.Info, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
 	dst, ok := s.Lhs[0].(*ast.Ident)
 	if !ok {
 		return false
@@ -203,7 +241,7 @@ func isKeyCollect(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt) boo
 	if !ok {
 		return false
 	}
-	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+	if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
 		return false
 	}
 	arg0, ok := call.Args[0].(*ast.Ident)
@@ -220,13 +258,13 @@ func isKeyCollect(pass *analysis.Pass, rs *ast.RangeStmt, s *ast.AssignStmt) boo
 
 // allMapIndexWrites reports whether every LHS is an index into a map and
 // every RHS is call-free.
-func allMapIndexWrites(pass *analysis.Pass, s *ast.AssignStmt) bool {
+func allMapIndexWrites(info *types.Info, s *ast.AssignStmt) bool {
 	for _, l := range s.Lhs {
 		ix, ok := l.(*ast.IndexExpr)
 		if !ok {
 			return false
 		}
-		t := pass.TypesInfo.TypeOf(ix.X)
+		t := info.TypeOf(ix.X)
 		if t == nil {
 			return false
 		}
@@ -235,7 +273,7 @@ func allMapIndexWrites(pass *analysis.Pass, s *ast.AssignStmt) bool {
 		}
 	}
 	for _, r := range s.Rhs {
-		if !pureExpr(pass, r) {
+		if !pureExpr(info, r) {
 			return false
 		}
 	}
@@ -245,7 +283,7 @@ func allMapIndexWrites(pass *analysis.Pass, s *ast.AssignStmt) bool {
 // pureExpr reports whether e contains no calls other than the pure
 // builtins len and cap (a call may observe or mutate accumulation state,
 // defeating the commutativity argument).
-func pureExpr(pass *analysis.Pass, e ast.Expr) bool {
+func pureExpr(info *types.Info, e ast.Expr) bool {
 	pure := true
 	ast.Inspect(e, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -253,7 +291,7 @@ func pureExpr(pass *analysis.Pass, e ast.Expr) bool {
 			return true
 		}
 		if id, ok := call.Fun.(*ast.Ident); ok {
-			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
+			if b, ok := info.Uses[id].(*types.Builtin); ok &&
 				(b.Name() == "len" || b.Name() == "cap") {
 				return true // pure builtins; keep scanning their arguments
 			}

@@ -10,6 +10,7 @@ import (
 
 func TestMapIter(t *testing.T) {
 	results := analysistest.Run(t, "testdata", mapiter.Analyzer, "det/mapiter")
+	analysistest.Run(t, "testdata", mapiter.Analyzer, "det/mapitertrans")
 
 	// The key-only range in flagged() must carry the mechanical
 	// detsort.Keys rewrite; the key+value ranges must not (the body also

@@ -1,0 +1,38 @@
+// Package mapitertrans exercises the interprocedural side of the mapiter
+// analyzer: the order-sensitive range hides in a helper and the caller is
+// flagged at the call with the chain down to the loop.
+package mapitertrans
+
+import "harness/maphelp"
+
+func concat(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want `map iteration order is randomized`
+		out += v
+	}
+	return out
+}
+
+func render(m map[string]string) string {
+	return concat(m) // want `call iterates a map in randomized order in deterministic package det/mapitertrans.*\(via render → concat → map range at mapitertrans/a\.go:\d+\)`
+}
+
+func total(m map[string]float64) float64 {
+	return maphelp.Sum(m) // want `call iterates a map in randomized order.*\(via total → Sum → map range at maphelp/a\.go:\d+\)`
+}
+
+func sorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: order-insensitive, no fact
+	}
+	return keys
+}
+
+func callsSorted(m map[int]string) []int {
+	return sorted(m) // helper proved order-insensitive: callers stay clean
+}
+
+func allowed(m map[string]string) string {
+	return concat(m) //lint:allow mapiter output feeds an unordered set diff
+}

@@ -1,0 +1,14 @@
+// Package maphelp is harness-side helper code whose map range is
+// order-sensitive; the IteratesMapUnordered fact flags deterministic
+// callers at their call site.
+package maphelp
+
+// Sum accumulates float values in map visit order — order-sensitive at
+// the bit level, since float addition does not associate.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+// Package wallclocktrans exercises the interprocedural side of the
+// wallclock analyzer: the clock read hides in a helper — same-package or
+// imported — and the caller is flagged at the call with the chain down to
+// the time.Now site.
+package wallclocktrans
+
+import (
+	"time"
+
+	"harness/clockhelp"
+)
+
+func readClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now must not read the wall clock in deterministic package det/wallclocktrans`
+}
+
+func viaMid() int64 {
+	return readClock() // want `call reaches the wall clock in deterministic package det/wallclocktrans.*\(via viaMid → readClock → time\.Now at wallclocktrans/a\.go:\d+\)`
+}
+
+func tick() int64 {
+	a := viaMid()          // want `call reaches the wall clock.*\(via tick → viaMid → readClock → time\.Now at wallclocktrans/a\.go:\d+\)`
+	b := clockhelp.Stamp() // want `call reaches the wall clock.*\(via tick → Stamp → time\.Now at clockhelp/a\.go:\d+\)`
+	return a + b
+}
+
+func allowedCall() int64 {
+	return clockhelp.Stamp() //lint:allow wallclock replay harness timestamps the transcript header
+}
+
+func prunedHelper() int64 {
+	//lint:allow wallclock startup calibration runs once before the simulation
+	return time.Now().UnixNano()
+}
+
+func callsPruned() int64 {
+	return prunedHelper() // the allow above killed the fact: callers stay clean
+}

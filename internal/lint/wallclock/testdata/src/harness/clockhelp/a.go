@@ -1,0 +1,11 @@
+// Package clockhelp is harness-side helper code: reading the clock here
+// is legal locally, but the ReachesWallClock fact it exports means any
+// deterministic caller is flagged at its call site.
+package clockhelp
+
+import "time"
+
+// Stamp returns the host wall-clock time in nanoseconds.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -5,14 +5,22 @@
 // virtual time must come from sim.Engine instead. Harness instrumentation
 // that genuinely measures host wall time (the experiment bench timings)
 // carries a //lint:allow wallclock directive with its reason.
+//
+// The check is interprocedural: the fact collector marks every function —
+// in any package — that reaches a forbidden time call, the fact layer
+// propagates the mark up the call graph, and deterministic packages are
+// then flagged both at direct uses and at calls into helpers that reach
+// the clock transitively, with the call chain in the diagnostic.
 package wallclock
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/facts"
 )
 
 // forbidden lists the package-level names of the time package that observe
@@ -34,31 +42,65 @@ var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
 	Doc: "forbid wall-clock time in deterministic packages\n\n" +
 		"Simulation code must derive time from sim.Engine's virtual clock; " +
-		"time.Now and friends make fixed-seed runs irreproducible.",
-	Run: run,
+		"time.Now and friends make fixed-seed runs irreproducible, including " +
+		"through transitive calls into helper packages.",
+	Run:           run,
+	FactCollector: collect,
+}
+
+// sites invokes fn for every forbidden time-package use in the files.
+func sites(info *types.Info, files []*ast.File, fn func(sel *ast.SelectorExpr, name string)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if _, bad := forbidden[obj.Name()]; bad {
+				fn(sel, obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// collect emits a ReachesWallClock origin for every forbidden use, in
+// every package: harness code may read the clock locally, but a
+// deterministic package calling into it must still be caught.
+func collect(pkg *facts.PkgInfo) []facts.Origin {
+	var out []facts.Origin
+	sites(pkg.Info, pkg.Files, func(sel *ast.SelectorExpr, name string) {
+		out = append(out, facts.Origin{Kind: facts.ReachesWallClock, Pos: sel.Pos(), Desc: "time." + name})
+	})
+	return out
 }
 
 func run(pass *analysis.Pass) (any, error) {
 	if !determinism.Deterministic(pass.Pkg.Path()) {
 		return nil, nil
 	}
+	sites(pass.TypesInfo, pass.Files, func(sel *ast.SelectorExpr, name string) {
+		pass.Reportf(sel.Pos(),
+			"time.%s must not %s in deterministic package %s; use the sim.Engine virtual clock",
+			name, forbidden[name], pass.Pkg.Path())
+	})
+	reported := make(map[token.Pos]bool)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || reported[call.Pos()] {
 				return true
 			}
-			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-				return true
+			if fact, ok := pass.Facts.CallFact(call, facts.ReachesWallClock); ok {
+				reported[call.Pos()] = true
+				pass.ReportTransitive(call, fact,
+					"call reaches the wall clock in deterministic package %s; use the sim.Engine virtual clock",
+					pass.Pkg.Path())
 			}
-			what, bad := forbidden[fn.Name()]
-			if !bad {
-				return true
-			}
-			pass.Reportf(sel.Pos(),
-				"time.%s must not %s in deterministic package %s; use the sim.Engine virtual clock",
-				fn.Name(), what, pass.Pkg.Path())
 			return true
 		})
 	}

@@ -8,5 +8,5 @@ import (
 )
 
 func TestWallclock(t *testing.T) {
-	analysistest.Run(t, "testdata", wallclock.Analyzer, "det/wallclock", "harness/wallclock")
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "det/wallclock", "det/wallclocktrans", "harness/wallclock")
 }

@@ -79,6 +79,7 @@ type destBuilder struct {
 // backing array when capacity allows.
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
+		//lint:allow hotpathalloc amortized doubling of a reused scratch buffer; steady state never re-enters
 		return make([]int32, n)
 	}
 	s = s[:n]
@@ -141,6 +142,7 @@ func (r *Router) takeState() *destState {
 		r.freeStates = r.freeStates[:n-1]
 		return ds
 	}
+	//lint:allow hotpathalloc free-list miss: allocates only until the pool warms up
 	return &destState{}
 }
 
@@ -230,6 +232,7 @@ func (r *Router) runBuilds(pending []buildJob, workers int) {
 // builderFor returns worker w's scratch, growing the pool on first use.
 func (r *Router) builderFor(w int) *destBuilder {
 	for len(r.builders) <= w {
+		//lint:allow hotpathalloc per-worker scratch pool grows once on first use, then is reused
 		r.builders = append(r.builders, &destBuilder{})
 	}
 	return r.builders[w]

@@ -560,6 +560,7 @@ type Workspace struct {
 
 func growFloats(s []float64, n int) []float64 {
 	if cap(s) < n {
+		//lint:allow hotpathalloc amortized doubling of a reused scratch buffer; steady state never re-enters
 		return make([]float64, n)
 	}
 	s = s[:n]

@@ -281,7 +281,6 @@ func R7FromRecordings(dir string) (*metrics.Table, error) {
 		return nil, fmt.Errorf("no R7-*.fr recordings in %s", dir)
 	}
 	var seeds []uint64
-	//lint:allow mapiter seeds are sorted immediately below
 	for s := range seedSet {
 		seeds = append(seeds, s)
 	}
