@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint fmt fmt-check bench bench-quick bench-diff experiments-quick shard-diff replay-diff ci
+.PHONY: all build test race vet lint fmt fmt-check bench bench-quick bench-diff cp-smoke experiments-quick shard-diff replay-diff ci
 
 all: build
 
@@ -35,6 +35,7 @@ bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) run ./cmd/experiments -quick -bench-json BENCH_experiments.json > /dev/null
 	$(GO) run ./cmd/selfmaintlint -factcache .cache/selfmaintlint -bench-json BENCH_experiments.json ./...
+	$(GO) run ./cmd/cpload -watchers 1000 -steps 30 -queue-cap 64 -heap-mb 128 -bench-json BENCH_experiments.json > /dev/null
 
 # One-iteration pass over the routing hot-path benchmarks: proves the
 # incremental-invalidation and zero-alloc paths still build and run in CI.
@@ -50,7 +51,18 @@ bench-diff:
 	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
 	$(GO) run ./cmd/experiments -quick -serial -bench-json "$$tmp/bench.json" > /dev/null && \
 	$(GO) run ./cmd/selfmaintlint -factcache .cache/selfmaintlint -bench-json "$$tmp/bench.json" ./... && \
+	$(GO) run ./cmd/cpload -watchers 1000 -steps 30 -queue-cap 64 -heap-mb 128 -bench-json "$$tmp/bench.json" > /dev/null && \
 	$(GO) run ./cmd/benchdiff BENCH_experiments.json "$$tmp/bench.json"
+
+# Control-plane load smoke: 1k concurrent watchers against a live paced sim
+# over an in-memory transport. cpload exits nonzero when the flight
+# recording differs between the 0-watcher and 1000-watcher runs (watchers
+# perturbed the simulation), when peak heap crosses the ceiling, or when
+# nothing was delivered; -queue-cap 64 forces drop-oldest so the
+# backpressure counters are exercised, not just present. The full 10k-
+# watcher version is `go run ./cmd/cpload` with its defaults.
+cp-smoke:
+	$(GO) run ./cmd/cpload -watchers 1000 -steps 30 -queue-cap 64 -heap-mb 128
 
 # Smoke-run the quick experiment suite on all host cores (output discarded;
 # the determinism tests cover correctness, this covers the CLI path).

@@ -29,6 +29,9 @@ make shard-diff
 echo "== replay-diff (flight recorder: record == replay, diff finds divergence)"
 make replay-diff
 
+echo "== cp-smoke (1k stream watchers: bounded heap, byte-identical transcript)"
+make cp-smoke
+
 echo "== bench smoke (routing hot paths, 1 iteration)"
 make bench-quick
 

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// benchID is the experiment id the load run reports under in the BENCH
+// artifact, next to the simulation experiments.
+const benchID = "cpload"
+
+// upsertBench records the watched run's wall time as the "cpload"
+// experiment in the bench artifact at path, replacing an existing entry or
+// appending one. The artifact is created when absent; in CI the
+// experiments harness writes it first and cmd/benchdiff then gates the
+// load-test wall time against the committed baseline exactly like any
+// other experiment.
+func upsertBench(path string, wallSeconds float64, watchers int) error {
+	var bench scenario.Bench
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &bench); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	entry := scenario.ExperimentBench{ID: benchID, Workers: watchers, WallSeconds: wallSeconds}
+	replaced := false
+	for i := range bench.Experiments {
+		if bench.Experiments[i].ID == benchID {
+			bench.Experiments[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		bench.Experiments = append(bench.Experiments, entry)
+	}
+	out, err := json.MarshalIndent(&bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -16,6 +16,10 @@
 //	maintctl replay FILE
 //	maintctl diff   FILE1 FILE2
 //
+// Streaming control plane (against selfmaintd):
+//
+//	maintctl watch -addr HOST:PORT [-topics a,b] [-resume TOKEN -last N]
+//
 // LINK is a numeric link id (see health output), END is A or B, ACTION is
 // reseat | clean | replace-xcvr, CAUSE is a fault cause name.
 package main
@@ -54,6 +58,9 @@ func main() {
 		return
 	case "diff":
 		cmdDiff(args[1:])
+		return
+	case "watch":
+		cmdWatch(args[1:])
 		return
 	}
 
@@ -179,6 +186,9 @@ flight recorder (local, no daemon):
   record -o FILE [-seed N] [-level N] [-days N] [-accel X]
                             simulate a cluster and record the event stream
   replay FILE               replay a recording; verify the fingerprint
-  diff   FILE1 FILE2        locate the first divergent frame of two recordings`)
+  diff   FILE1 FILE2        locate the first divergent frame of two recordings
+streaming control plane:
+  watch [-addr HOST:PORT] [-topics LIST] [-n N] [-follow] [-raw]
+                            tail a live selfmaintd: snapshot, then deltas`)
 	os.Exit(2)
 }

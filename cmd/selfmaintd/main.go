@@ -1,53 +1,141 @@
 // selfmaintd is the self-maintenance controller daemon: it runs a full
 // self-maintaining hall (telemetry → diagnosis → tickets → robots/humans)
 // in accelerated virtual time, pacing the simulation against the wall
-// clock, and serves an HTTP status API for observation:
+// clock, and serves an HTTP API for observation:
 //
-//	GET /status   — run summary (JSON)
-//	GET /tickets  — ticket list (JSON)
-//	GET /health   — observable link health (JSON)
-//	GET /log      — recent controller decisions (JSON)
-//	GET /events   — recent pipeline bus events, all topics (JSON)
+//	GET /status     — run summary (JSON)
+//	GET /tickets    — ticket list (JSON)
+//	GET /health     — observable link health (JSON)
+//	GET /log        — recent controller decisions (JSON)
+//	GET /events     — recent pipeline bus events, all topics (JSON)
+//	GET /v1/stream  — streaming control plane: session handshake, then
+//	                  snapshot + live deltas over SSE (see maintctl watch)
+//	GET /v1/stats   — control-plane hub statistics and sessions (JSON)
 //
 // Usage:
 //
 //	selfmaintd -listen 127.0.0.1:7800 -pace 3600 &
 //	curl -s 127.0.0.1:7800/status | head
+//	maintctl watch -addr 127.0.0.1:7800
 //
 // pace is virtual seconds advanced per wall-clock second. With -record FILE
-// the daemon streams its full event history to a flight recording, closed
-// cleanly (trailer + fingerprint) on SIGINT/SIGTERM; replay it with
-// `maintctl replay FILE`.
+// the daemon streams its full event history to a flight recording; replay
+// it with `maintctl replay FILE`.
+//
+// The read endpoints are served from the control-plane hub's materialized
+// view — rendered once per pacing step by the feed — so requests never
+// block the simulation, and any number of /v1/stream watchers observe the
+// run without perturbing it. Every exit path (signal, listener error, serve
+// error) funnels through one shutdown sequence: stop the pacing ticker,
+// drain HTTP with a deadline, then close the flight recording (trailer +
+// fingerprint; an empty recording is deleted rather than left truncated).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"sync"
 	"syscall"
 	"time"
 
-	"repro/internal/faults"
+	"repro/internal/controlplane"
+	"repro/internal/flightrec"
 	"repro/internal/sim"
-	"repro/internal/ticket"
 	"repro/selfmaint"
 )
 
-// server paces the simulation and serves snapshots. A single mutex guards
-// the world: the engine is single-threaded by design.
-type server struct {
+// shutdownTimeout bounds the graceful HTTP drain; connections still open
+// after it (streaming watchers, typically) are force-closed.
+const shutdownTimeout = 5 * time.Second
+
+// config is the parsed and validated command line.
+type config struct {
+	listen    string
+	level     int
+	pace      float64
+	accel     float64
+	seed      uint64
+	record    string
+	eventBuf  int
+	tickEvery time.Duration
+}
+
+// parseFlags parses and validates args. Validation is up front and total:
+// a daemon that would spin uselessly (zero pace), crash later (bad level)
+// or serve nothing (empty listen address) refuses to start instead.
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("selfmaintd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7800", "HTTP listen address")
+	fs.IntVar(&cfg.level, "level", 4, "automation level 0-4")
+	fs.Float64Var(&cfg.pace, "pace", 3600, "virtual seconds per wall second")
+	fs.Float64Var(&cfg.accel, "accel", 20, "fault acceleration")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "seed")
+	fs.StringVar(&cfg.record, "record", "", "write a flight recording of the run to this file")
+	fs.IntVar(&cfg.eventBuf, "event-buffer", 1024, "recent bus events retained for /events")
+	fs.DurationVar(&cfg.tickEvery, "tick", time.Second, "wall-clock pacing interval (mainly for tests)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.listen == "" {
+		return cfg, errors.New("-listen must not be empty: give host:port to serve on")
+	}
+	if cfg.level < 0 || cfg.level > 4 {
+		return cfg, fmt.Errorf("-level %d out of range: automation levels run 0 (human-only) to 4 (fully autonomous)", cfg.level)
+	}
+	if !(cfg.pace > 0) || math.IsInf(cfg.pace, 0) {
+		return cfg, fmt.Errorf("-pace %g invalid: must be a positive, finite count of virtual seconds per wall second", cfg.pace)
+	}
+	if !(cfg.accel > 0) || math.IsInf(cfg.accel, 0) {
+		return cfg, fmt.Errorf("-accel %g invalid: must be a positive, finite fault-rate multiplier", cfg.accel)
+	}
+	if cfg.eventBuf <= 0 {
+		return cfg, fmt.Errorf("-event-buffer %d invalid: must retain at least one event", cfg.eventBuf)
+	}
+	if cfg.tickEvery <= 0 {
+		return cfg, fmt.Errorf("-tick %v invalid: must be a positive duration", cfg.tickEvery)
+	}
+	return cfg, nil
+}
+
+// daemon owns the paced simulation and everything serving it. The mutex
+// guards the cluster and the event ring; the hub has its own lock and the
+// read endpoints serve from its materialized view without touching mu.
+type daemon struct {
+	cfg  config
+	hub  *controlplane.Hub
+	feed *selfmaint.Feed
+
 	mu     sync.Mutex
 	c      *selfmaint.Cluster
 	events eventRing
+	steps  int
+
+	rec     *selfmaint.Recording
+	recFile *os.File
+	sum     *flightrec.Summary
+
+	srv      *http.Server
+	stopTick chan struct{}
+	tickDone chan struct{}
+	once     sync.Once
+	shutErr  error
 }
 
 // eventRing keeps the most recent pipeline events. The bus tap that fills
-// it fires synchronously inside Run, so server.mu already guards it. The
+// it fires synchronously inside Run, so daemon.mu already guards it. The
 // ring retains the typed events as published; rendering to JSON rows
 // happens at request time, keeping the per-event tap cost to one slot
 // assignment (see BenchmarkEventTap).
@@ -92,90 +180,224 @@ func (r *eventRing) all() []eventRow {
 	return rows
 }
 
-func (s *server) step(d sim.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.c.Run(d)
-}
-
-func (s *server) status(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	rep := s.c.Report()
-	now := s.c.Now()
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{
-		"virtual_time":      now.String(),
-		"tickets_opened":    rep.TicketsOpened,
-		"tickets_resolved":  rep.TicketsResolved,
-		"mean_window":       rep.MeanServiceWindow.String(),
-		"availability":      rep.FleetAvailability,
-		"down_link_hours":   rep.DownLinkHours,
-		"robot_tasks":       rep.RobotTasks,
-		"human_tasks":       rep.HumanTasks,
-		"human_escalations": rep.EscalationsToHuman,
-		"cascades":          rep.CascadesDuringOps,
-		"proactive_tasks":   rep.ProactiveTasks,
-		"predictive_tasks":  rep.PredictiveTasks,
-		"watchdog_fires":    rep.WatchdogFires,
-		"late_outcomes":     rep.LateOutcomes,
-		"degraded_tickets":  rep.DegradedTickets,
-	})
-}
-
-func (s *server) tickets(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	type row struct {
-		ID       int    `json:"id"`
-		Link     string `json:"link"`
-		Kind     string `json:"kind"`
-		Status   string `json:"status"`
-		Window   string `json:"window,omitempty"`
-		Attempts int    `json:"attempts"`
+// newDaemon builds the cluster, hub, feed, event tap and (optionally) the
+// flight recording. On error nothing is left behind: a created recording
+// file is removed.
+func newDaemon(cfg config) (*daemon, error) {
+	c, err := selfmaint.NewCluster(
+		selfmaint.WithSeed(cfg.seed),
+		selfmaint.WithLevel(selfmaint.Level(cfg.level)),
+		selfmaint.WithRobots(),
+		selfmaint.WithTechnicians(2),
+		selfmaint.WithFaultAcceleration(cfg.accel),
+	)
+	if err != nil {
+		return nil, err
 	}
-	rows := []row{} // empty list must encode as [], not null
-	for _, t := range s.c.World().Store.All() {
-		rw := row{ID: t.ID, Link: t.Link.Name(), Kind: t.Kind.String(),
-			Status: t.Status.String(), Attempts: len(t.Attempts)}
-		if t.Status == ticket.Resolved {
-			rw.Window = t.ServiceWindow().String()
+	d := &daemon{cfg: cfg, c: c, hub: controlplane.NewHub(controlplane.Config{})}
+	d.events.buf = make([]selfmaint.Event, 0, cfg.eventBuf)
+	c.TapEvents(d.events.add)
+
+	if cfg.record != "" {
+		f, err := os.Create(cfg.record)
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, rw)
+		rec, err := c.RecordTo(f, map[string]string{
+			"tool":  "selfmaintd",
+			"seed":  fmt.Sprintf("%d", cfg.seed),
+			"level": fmt.Sprintf("L%d", cfg.level),
+			"accel": fmt.Sprintf("%g", cfg.accel),
+		}, sim.Hour)
+		if err != nil {
+			f.Close()
+			os.Remove(cfg.record)
+			return nil, err
+		}
+		d.rec, d.recFile = rec, f
 	}
-	writeJSON(w, rows)
+
+	// The feed publishes the initial keyed state immediately, so /status
+	// and snapshots are complete before the first pacing step.
+	d.feed = c.FeedControlPlane(d.hub)
+	d.srv = &http.Server{Handler: d.routes()}
+	return d, nil
 }
 
-func (s *server) busEvents(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	rows := s.events.all()
-	s.mu.Unlock()
-	writeJSON(w, rows)
+// step advances virtual time by dt and flushes the feed. The feed sync
+// runs under mu — it reads the cluster — but all hub publishing inside it
+// only takes the hub's own lock, which no simulation code path acquires.
+func (d *daemon) step(dt sim.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.c.Run(dt)
+	d.steps++
+	d.feed.Sync()
 }
 
-func (s *server) log(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	lines := s.c.DecisionLog(200)
-	s.mu.Unlock()
+// startPacing launches the wall-clock ticker that drives the simulation.
+func (d *daemon) startPacing() {
+	d.stopTick = make(chan struct{})
+	d.tickDone = make(chan struct{})
+	go func() {
+		defer close(d.tickDone)
+		tick := time.NewTicker(d.cfg.tickEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-d.stopTick:
+				return
+			case <-tick.C:
+				d.step(sim.Time(d.cfg.pace * float64(sim.Second)))
+			}
+		}
+	}()
+}
+
+// shutdown is the single exit path, idempotent and ordered: stop the
+// pacing ticker (no step may race the drain), drain HTTP with a deadline
+// (force-closing watchers that outlive it), then close the flight
+// recording so the trailer and fingerprint land on disk. A recording with
+// zero frames is deleted — a header-only file cannot be replayed and a
+// truncated artifact is worse than none.
+func (d *daemon) shutdown() error {
+	d.once.Do(func() {
+		if d.stopTick != nil {
+			close(d.stopTick)
+			<-d.tickDone
+		}
+		if d.srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+			if err := d.srv.Shutdown(ctx); err != nil {
+				d.srv.Close()
+			}
+			cancel()
+		}
+		d.shutErr = d.closeRecording()
+	})
+	return d.shutErr
+}
+
+func (d *daemon) closeRecording() error {
+	if d.rec == nil {
+		return nil
+	}
+	d.mu.Lock()
+	steps := d.steps
+	sum, err := d.rec.Close()
+	d.mu.Unlock()
+	if cerr := d.recFile.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("closing recording: %w", err)
+	}
+	// Close always appends an end-of-run state frame, so Frames() is never
+	// zero; "nothing was recorded" means no paced step ever ran. Such a
+	// file documents nothing — remove it rather than leave an artifact that
+	// looks like a run.
+	if steps == 0 {
+		if rerr := os.Remove(d.cfg.record); rerr != nil {
+			return fmt.Errorf("removing empty recording: %w", rerr)
+		}
+		return nil
+	}
+	d.sum = sum
+	return nil
+}
+
+func (d *daemon) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", d.status)
+	mux.HandleFunc("/tickets", d.tickets)
+	mux.HandleFunc("/health", d.health)
+	mux.HandleFunc("/log", d.decisionLog)
+	mux.HandleFunc("/events", d.busEvents)
+	mux.Handle("/v1/stream", d.hub.StreamHandler())
+	mux.HandleFunc("/v1/stats", d.stats)
+	return mux
+}
+
+// status serves the feed-rendered summary straight from the hub view: no
+// simulation lock, no re-encoding.
+func (d *daemon) status(w http.ResponseWriter, r *http.Request) {
+	raw := d.hub.ViewPayload(controlplane.TopicStatus, "status")
+	if raw == nil {
+		http.Error(w, `{"error":"status not yet published"}`, http.StatusServiceUnavailable)
+		return
+	}
+	writeRawJSON(w, raw)
+}
+
+// tickets serves the materialized ticket rows in id order.
+func (d *daemon) tickets(w http.ResponseWriter, r *http.Request) {
+	entries := d.hub.ViewEntries(controlplane.TopicTicket)
+	// View order is lexicographic by key; ticket ids want numeric order.
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i].Key, entries[j].Key
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	buf := make([]byte, 0, 64+128*len(entries))
+	buf = append(buf, '[')
+	for i, e := range entries {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, e.Data...)
+	}
+	buf = append(buf, ']')
+	writeRawJSON(w, buf)
+}
+
+// health rebuilds the legacy {"down":[...],"flapping":[...]} shape from
+// the cp.health view (recovered links are tombstoned out of it).
+func (d *daemon) health(w http.ResponseWriter, r *http.Request) {
+	out := map[string][]string{"down": {}, "flapping": {}}
+	for _, e := range d.hub.ViewEntries(controlplane.TopicHealth) {
+		var p struct {
+			Health string `json:"health"`
+		}
+		if err := json.Unmarshal(e.Data, &p); err == nil {
+			out[p.Health] = append(out[p.Health], e.Key)
+		}
+	}
+	writeJSON(w, out)
+}
+
+func (d *daemon) decisionLog(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	lines := d.c.DecisionLog(200)
+	d.mu.Unlock()
 	if lines == nil {
 		lines = []string{} // empty log must encode as [], not null
 	}
 	writeJSON(w, lines)
 }
 
-func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	world := s.c.World()
-	out := map[string][]string{"down": {}, "flapping": {}}
-	for _, l := range world.Net.Links {
-		switch world.Inj.Observable(l.ID) {
-		case faults.Down:
-			out["down"] = append(out["down"], l.Name())
-		case faults.Flapping:
-			out["flapping"] = append(out["flapping"], l.Name())
-		}
-	}
-	writeJSON(w, out)
+func (d *daemon) busEvents(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	rows := d.events.all()
+	d.mu.Unlock()
+	writeJSON(w, rows)
+}
+
+// stats reports the control-plane hub's counters and session registry.
+func (d *daemon) stats(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	now, steps := d.c.Now(), d.steps
+	d.mu.Unlock()
+	dropped, coalesced := d.hub.DropsByTopic()
+	writeJSON(w, map[string]any{
+		"virtual_time":       now.String(),
+		"steps":              steps,
+		"hub":                d.hub.Stats(),
+		"dropped_by_topic":   dropped,
+		"coalesced_by_topic": coalesced,
+		"sessions":           d.hub.Sessions(),
+	})
 }
 
 // writeJSON marshals before touching the ResponseWriter, so an encoding
@@ -191,88 +413,80 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Write(append(data, '\n'))
 }
 
-func main() {
-	var (
-		listen = flag.String("listen", "127.0.0.1:7800", "HTTP listen address")
-		level  = flag.Int("level", 4, "automation level 0-4")
-		pace   = flag.Float64("pace", 3600, "virtual seconds per wall second")
-		accel  = flag.Float64("accel", 20, "fault acceleration")
-		seed   = flag.Uint64("seed", 1, "seed")
-		record = flag.String("record", "", "write a flight recording of the run to this file")
-	)
-	flag.Parse()
+// writeRawJSON serves pre-encoded bytes. They may be shared (hub view
+// payloads), so nothing here appends to them.
+func writeRawJSON(w http.ResponseWriter, raw []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw)
+	io.WriteString(w, "\n")
+}
 
-	c, err := selfmaint.NewCluster(
-		selfmaint.WithSeed(*seed),
-		selfmaint.WithLevel(selfmaint.Level(*level)),
-		selfmaint.WithRobots(),
-		selfmaint.WithTechnicians(2),
-		selfmaint.WithFaultAcceleration(*accel),
-	)
+// run is the daemon lifecycle: validate, build, listen, pace, serve, and
+// shut down through the single ordered path no matter which exit fired
+// first. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	cfg, err := parseFlags(args, stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "selfmaintd:", err)
-		os.Exit(1)
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintln(stderr, "selfmaintd:", err)
+		return 2
 	}
-	srv := &server{c: c}
-	srv.events.buf = make([]selfmaint.Event, 0, 1024)
-	c.TapEvents(srv.events.add)
-
-	if *record != "" {
-		f, err := os.Create(*record)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "selfmaintd:", err)
-			os.Exit(1)
-		}
-		recd, err := c.RecordTo(f, map[string]string{
-			"tool":  "selfmaintd",
-			"seed":  fmt.Sprintf("%d", *seed),
-			"level": fmt.Sprintf("L%d", *level),
-			"accel": fmt.Sprintf("%g", *accel),
-		}, sim.Hour)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "selfmaintd:", err)
-			os.Exit(1)
-		}
-		// The trailer is what makes the file replayable; close the
-		// recording cleanly when the daemon is interrupted.
-		sigc := make(chan os.Signal, 1)
-		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sigc
-			srv.mu.Lock()
-			sum, err := recd.Close()
-			srv.mu.Unlock()
-			if err == nil {
-				err = f.Close()
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "selfmaintd: closing recording:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("selfmaintd: recorded %d frames to %s (fingerprint %016x)\n",
-				sum.Frames(), *record, sum.Fingerprint())
-			os.Exit(0)
-		}()
+	d, err := newDaemon(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "selfmaintd:", err)
+		return 1
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/status", srv.status)
-	mux.HandleFunc("/tickets", srv.tickets)
-	mux.HandleFunc("/health", srv.health)
-	mux.HandleFunc("/log", srv.log)
-	mux.HandleFunc("/events", srv.busEvents)
-
-	go func() {
-		tick := time.NewTicker(time.Second)
-		defer tick.Stop()
-		for range tick.C {
-			srv.step(sim.Time(*pace * float64(sim.Second)))
+	// Listen before serving so an unusable address fails here, with the
+	// recording closed (and removed — nothing ran) instead of truncated.
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "selfmaintd:", err)
+		if serr := d.shutdown(); serr != nil {
+			fmt.Fprintln(stderr, "selfmaintd:", serr)
 		}
-	}()
-
-	fmt.Printf("selfmaintd: L%d hall on %s, pacing %gx real time\n", *level, *listen, *pace)
-	if err := http.ListenAndServe(*listen, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "selfmaintd:", err)
-		os.Exit(1)
+		return 1
 	}
+	fmt.Fprintf(stdout, "selfmaintd: L%d hall on %s, pacing %gx real time\n",
+		cfg.level, ln.Addr(), cfg.pace)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	errc := make(chan error, 1)
+	go func() { errc <- d.srv.Serve(ln) }()
+	d.startPacing()
+
+	var serveErr error
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "selfmaintd: %v, shutting down\n", sig)
+	case serveErr = <-errc:
+	}
+	shutErr := d.shutdown()
+	if serveErr == nil {
+		serveErr = <-errc // Serve returns once Shutdown has drained it
+	}
+
+	code := 0
+	if serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "selfmaintd:", serveErr)
+		code = 1
+	}
+	if shutErr != nil {
+		fmt.Fprintln(stderr, "selfmaintd:", shutErr)
+		code = 1
+	}
+	if d.sum != nil {
+		fmt.Fprintf(stdout, "selfmaintd: recorded %d frames to %s (fingerprint %016x)\n",
+			d.sum.Frames(), cfg.record, d.sum.Fingerprint())
+	}
+	return code
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

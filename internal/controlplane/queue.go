@@ -1,0 +1,54 @@
+package controlplane
+
+// queue is a fixed-capacity ring of frames, the per-client send buffer.
+// All methods are called with the hub lock held; the queue itself has no
+// synchronization.
+//
+// Coalescing punches holes: when a newer frame supersedes a queued one
+// with the same (topic, key), the old slot is nil-ed in place and the new
+// frame appends at the tail, so the surviving stream stays sequence-
+// monotonic. Holes occupy slots until they reach the head, where popping
+// them is free (they are not drops — their replacement is still queued).
+type queue struct {
+	buf  []*Frame
+	head int // index of the oldest slot
+	n    int // occupied slots, including holes
+}
+
+func newQueue(capacity int) queue {
+	return queue{buf: make([]*Frame, capacity)}
+}
+
+func (q *queue) full() bool { return q.n == len(q.buf) }
+
+// coalesce nils out the queued frame with the same (topic, key), if any,
+// and reports whether it did.
+func (q *queue) coalesce(t Topic, key string) bool {
+	for i := 0; i < q.n; i++ {
+		idx := (q.head + i) % len(q.buf)
+		if f := q.buf[idx]; f != nil && f.Topic == t && f.Key == key {
+			q.buf[idx] = nil
+			return true
+		}
+	}
+	return false
+}
+
+// pop removes the oldest slot. The returned frame is nil when the slot was
+// a coalesce hole; ok is false only when the queue is empty.
+func (q *queue) pop() (f *Frame, ok bool) {
+	if q.n == 0 {
+		return nil, false
+	}
+	f = q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return f, true
+}
+
+// push appends at the tail; the caller guarantees room.
+func (q *queue) push(f *Frame) {
+	q.buf[(q.head+q.n)%len(q.buf)] = f
+	q.n++
+}

@@ -1,0 +1,163 @@
+package controlplane
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The stream endpoint speaks Server-Sent Events over chunked HTTP/1.1:
+//
+//	GET /v1/stream?client=NAME&proto=1&topics=cp.status,sense.alert&resume=TOKEN&last=SEQ
+//
+// Query parameters:
+//
+//	client  free-form client name, recorded in the session registry
+//	proto   protocol version; absent or "1"
+//	topics  comma-separated topic filter for the delta stream; absent = all
+//	resume  session token from a previous hello frame
+//	last    sequence number of the last frame processed (with resume)
+//
+// The response is a frame stream:
+//
+//	event: hello
+//	data: {"proto":1,"session":"s7","resume":"s7","seq":184,"mode":"snapshot"}
+//
+//	event: snapshot            (snapshot mode only)
+//	id: 184
+//	data: {"seq":184,"state":{"cp.health":{...},"cp.status":{...},...}}
+//
+//	event: delta               (repeated; id is the hub sequence number)
+//	id: 185
+//	data: {"seq":185,"at":"812h",...,"payload":{...}}
+//
+//	event: drops               (whenever backpressure counters advance)
+//	data: {"dropped":12,"coalesced":3,"by_topic":{...}}
+//
+// In snapshot mode the client's state is complete at seq and deltas
+// continue from seq+1 with no gap unless a drops frame says otherwise. To
+// resume after a disconnect, reconnect with resume=<session> and
+// last=<highest delta id processed>; the hub replays the missed frames if
+// they are still retained and falls back to a fresh snapshot (mode
+// "snapshot", possibly under a new session id) if not.
+
+// streamBatch is how many frames the writer drains per wakeup before
+// flushing.
+const streamBatch = 64
+
+// StreamHandler returns the SSE streaming endpoint.
+func (h *Hub) StreamHandler() http.Handler { return http.HandlerFunc(h.serveStream) }
+
+func (h *Hub) serveStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if p := q.Get("proto"); p != "" && p != strconv.Itoa(Proto) {
+		http.Error(w, `{"error":"unsupported protocol version, server speaks 1"}`, http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, `{"error":"streaming unsupported"}`, http.StatusInternalServerError)
+		return
+	}
+	var last uint64
+	if s := q.Get("last"); s != "" {
+		var err error
+		if last, err = strconv.ParseUint(s, 10, 64); err != nil {
+			http.Error(w, `{"error":"bad last sequence"}`, http.StatusBadRequest)
+			return
+		}
+	}
+	var topics []Topic
+	if s := q.Get("topics"); s != "" {
+		for _, t := range strings.Split(s, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				topics = append(topics, Topic(t))
+			}
+		}
+	}
+
+	att, err := h.Attach(AttachOptions{
+		Client: q.Get("client"), Topics: topics,
+		Resume: q.Get("resume"), Last: last,
+	})
+	if err != nil {
+		http.Error(w, `{"error":"session already has a live stream"}`, http.StatusConflict)
+		return
+	}
+	defer h.Detach(att)
+
+	hd := w.Header()
+	hd.Set("Content-Type", "text/event-stream")
+	hd.Set("Cache-Control", "no-cache")
+	hd.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	mode := "snapshot"
+	if att.Resumed {
+		mode = "resume"
+	}
+	hello := make([]byte, 0, 96)
+	hello = append(hello, `{"proto":1,"session":`...)
+	hello = strconv.AppendQuote(hello, att.Session)
+	hello = append(hello, `,"resume":`...)
+	hello = strconv.AppendQuote(hello, att.Session)
+	hello = append(hello, `,"seq":`...)
+	hello = strconv.AppendUint(hello, att.Seq, 10)
+	hello = append(hello, `,"mode":`...)
+	hello = strconv.AppendQuote(hello, mode)
+	hello = append(hello, '}')
+	if !writeFrame(w, "hello", 0, false, hello) {
+		return
+	}
+	if att.Snapshot != nil {
+		if !writeFrame(w, "snapshot", att.Seq, true, att.Snapshot) {
+			return
+		}
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	buf := make([]*Frame, 0, streamBatch)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-att.c.wake:
+		}
+		for {
+			frames, drops := h.take(att.c, buf[:0], streamBatch)
+			if len(frames) == 0 && drops == nil {
+				break
+			}
+			for _, f := range frames {
+				if !writeFrame(w, "delta", f.Seq, true, f.wire) {
+					return
+				}
+			}
+			if drops != nil {
+				if !writeFrame(w, "drops", 0, false, drops) {
+					return
+				}
+			}
+		}
+		fl.Flush()
+	}
+}
+
+// writeFrame emits one SSE frame; false means the connection is gone.
+func writeFrame(w http.ResponseWriter, event string, id uint64, withID bool, data []byte) bool {
+	b := make([]byte, 0, 32+len(data))
+	b = append(b, "event: "...)
+	b = append(b, event...)
+	b = append(b, '\n')
+	if withID {
+		b = append(b, "id: "...)
+		b = strconv.AppendUint(b, id, 10)
+		b = append(b, '\n')
+	}
+	b = append(b, "data: "...)
+	b = append(b, data...)
+	b = append(b, '\n', '\n')
+	_, err := w.Write(b)
+	return err == nil
+}

@@ -1,0 +1,310 @@
+package controlplane
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	Event string
+	ID    string
+	Data  string
+}
+
+// sseReader incrementally parses an event stream.
+type sseReader struct{ sc *bufio.Scanner }
+
+func newSSEReader(r io.Reader) *sseReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &sseReader{sc: sc}
+}
+
+// next returns the next frame, blocking until one arrives or the stream
+// ends (io.EOF).
+func (r *sseReader) next() (sseFrame, error) {
+	var f sseFrame
+	seen := false
+	for r.sc.Scan() {
+		line := r.sc.Text()
+		switch {
+		case line == "":
+			if seen {
+				return f, nil
+			}
+		case strings.HasPrefix(line, "event: "):
+			f.Event, seen = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "id: "):
+			f.ID, seen = strings.TrimPrefix(line, "id: "), true
+		case strings.HasPrefix(line, "data: "):
+			f.Data, seen = strings.TrimPrefix(line, "data: "), true
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return f, err
+	}
+	return f, io.EOF
+}
+
+type helloData struct {
+	Proto   int    `json:"proto"`
+	Session string `json:"session"`
+	Resume  string `json:"resume"`
+	Seq     uint64 `json:"seq"`
+	Mode    string `json:"mode"`
+}
+
+func mustHello(t *testing.T, r *sseReader) helloData {
+	t.Helper()
+	f, err := r.next()
+	if err != nil || f.Event != "hello" {
+		t.Fatalf("first frame = %+v err %v, want hello", f, err)
+	}
+	var h helloData
+	if err := json.Unmarshal([]byte(f.Data), &h); err != nil {
+		t.Fatalf("hello payload: %v\n%s", err, f.Data)
+	}
+	if h.Proto != Proto {
+		t.Fatalf("hello proto = %d, want %d", h.Proto, Proto)
+	}
+	return h
+}
+
+func openStream(t *testing.T, url string) (*http.Response, *sseReader) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("stream status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	return resp, newSSEReader(resp.Body)
+}
+
+func TestStreamHandshakeSnapshotDelta(t *testing.T) {
+	h := NewHub(Config{})
+	h.Publish(TopicStatus, "status", false, sim.Hour, []byte(`{"v":1}`))
+	h.Publish(TopicHealth, "leaf0/p0", false, sim.Hour, []byte(`{"health":"down"}`))
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+
+	resp, r := openStream(t, srv.URL+"?client=test&proto=1")
+	defer resp.Body.Close()
+	hello := mustHello(t, r)
+	if hello.Mode != "snapshot" || hello.Seq != 2 {
+		t.Fatalf("hello = %+v, want snapshot mode at seq 2", hello)
+	}
+	if hello.Session != hello.Resume || hello.Session == "" {
+		t.Fatalf("hello session/resume = %q/%q", hello.Session, hello.Resume)
+	}
+
+	f, err := r.next()
+	if err != nil || f.Event != "snapshot" || f.ID != "2" {
+		t.Fatalf("second frame = %+v err %v, want snapshot id 2", f, err)
+	}
+	var snap struct {
+		Seq   uint64                            `json:"seq"`
+		State map[string]map[string]interface{} `json:"state"`
+	}
+	if err := json.Unmarshal([]byte(f.Data), &snap); err != nil {
+		t.Fatalf("snapshot payload: %v", err)
+	}
+	if snap.Seq != 2 || snap.State["cp.status"]["status"] == nil || snap.State["cp.health"]["leaf0/p0"] == nil {
+		t.Fatalf("snapshot = %s", f.Data)
+	}
+
+	h.Publish("sense.alert", "", false, 2*sim.Hour, []byte(`{"kind":"link-down"}`))
+	h.Publish(TopicHealth, "leaf0/p0", true, 2*sim.Hour, nil) // tombstone
+
+	f, err = r.next()
+	if err != nil || f.Event != "delta" || f.ID != "3" {
+		t.Fatalf("delta 1 = %+v err %v", f, err)
+	}
+	var delta struct {
+		Seq     uint64          `json:"seq"`
+		At      string          `json:"at"`
+		Topic   string          `json:"topic"`
+		Key     string          `json:"key"`
+		Delete  bool            `json:"delete"`
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(f.Data), &delta); err != nil {
+		t.Fatalf("delta payload: %v\n%s", err, f.Data)
+	}
+	if delta.Seq != 3 || delta.Topic != "sense.alert" || string(delta.Payload) != `{"kind":"link-down"}` {
+		t.Fatalf("delta = %s", f.Data)
+	}
+
+	f, err = r.next()
+	if err != nil || f.ID != "4" {
+		t.Fatalf("delta 2 = %+v err %v", f, err)
+	}
+	if err := json.Unmarshal([]byte(f.Data), &delta); err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Delete || delta.Key != "leaf0/p0" {
+		t.Fatalf("tombstone delta = %s", f.Data)
+	}
+}
+
+func TestStreamRejectsUnsupportedProto(t *testing.T) {
+	h := NewHub(Config{})
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "?proto=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("proto=2 status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStreamRejectsBadLast(t *testing.T) {
+	h := NewHub(Config{})
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "?last=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("last=banana status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStreamResumeOverHTTP(t *testing.T) {
+	h := NewHub(Config{})
+	h.Publish(TopicStatus, "status", false, sim.Hour, []byte(`{"v":1}`))
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+
+	resp, r := openStream(t, srv.URL+"?client=resumer")
+	hello := mustHello(t, r)
+	if _, err := r.next(); err != nil { // snapshot frame
+		t.Fatal(err)
+	}
+	h.Publish("sense.alert", "", false, sim.Hour, []byte(`{"i":1}`))
+	f, err := r.next()
+	if err != nil || f.Event != "delta" {
+		t.Fatalf("delta = %+v err %v", f, err)
+	}
+	lastSeen, _ := strconv.ParseUint(f.ID, 10, 64)
+	resp.Body.Close() // drop the connection
+
+	// Published while disconnected.
+	h.Publish("sense.alert", "", false, sim.Hour, []byte(`{"i":2}`))
+	h.Publish("sense.alert", "", false, sim.Hour, []byte(`{"i":3}`))
+
+	resp2, r2 := openStream(t, fmt.Sprintf("%s?client=resumer&resume=%s&last=%d", srv.URL, hello.Session, lastSeen))
+	defer resp2.Body.Close()
+	hello2 := mustHello(t, r2)
+	if hello2.Mode != "resume" || hello2.Session != hello.Session || hello2.Seq != lastSeen {
+		t.Fatalf("resume hello = %+v, want resume of %s at %d", hello2, hello.Session, lastSeen)
+	}
+	for i, want := range []uint64{lastSeen + 1, lastSeen + 2} {
+		f, err := r2.next()
+		if err != nil || f.Event != "delta" {
+			t.Fatalf("replayed delta %d = %+v err %v", i, f, err)
+		}
+		if got, _ := strconv.ParseUint(f.ID, 10, 64); got != want {
+			t.Fatalf("replayed delta %d id = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestStreamBusySessionConflict(t *testing.T) {
+	h := NewHub(Config{})
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+	resp, r := openStream(t, srv.URL+"?client=a")
+	defer resp.Body.Close()
+	hello := mustHello(t, r)
+	resp2, err := http.Get(srv.URL + "?client=b&resume=" + hello.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("attach to live session status = %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestStreamTopicFilterOverHTTP(t *testing.T) {
+	h := NewHub(Config{})
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+	resp, r := openStream(t, srv.URL+"?client=f&topics=sense.alert")
+	defer resp.Body.Close()
+	mustHello(t, r)
+	if _, err := r.next(); err != nil { // snapshot
+		t.Fatal(err)
+	}
+	h.Publish("journal.decision", "", false, sim.Hour, []byte(`{"skip":1}`))
+	h.Publish("sense.alert", "", false, sim.Hour, []byte(`{"want":1}`))
+	f, err := r.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f.Data, `"sense.alert"`) || strings.Contains(f.Data, "journal") {
+		t.Fatalf("filtered stream delivered %s", f.Data)
+	}
+}
+
+// TestStreamDropsFrameInBand forces queue overflow and asserts the drops
+// report reaches the wire.
+func TestStreamDropsFrameInBand(t *testing.T) {
+	h := NewHub(Config{QueueCap: 4})
+	srv := httptest.NewServer(h.StreamHandler())
+	defer srv.Close()
+	resp, r := openStream(t, srv.URL+"?client=d")
+	defer resp.Body.Close()
+	mustHello(t, r)
+	if _, err := r.next(); err != nil { // snapshot
+		t.Fatal(err)
+	}
+	// Overflow the 4-deep queue: frames big enough to overwhelm the TCP
+	// buffers block the writer goroutine (the reader is not reading yet),
+	// so the queue must overflow while publishes sail on regardless.
+	big := []byte(`{"pad":"` + strings.Repeat("x", 1<<20) + `"}`)
+	for i := 0; i < 32; i++ {
+		h.Publish("sense.alert", "", false, sim.Hour, big)
+	}
+	sawDrops := false
+	for i := 0; i < 200 && !sawDrops; i++ {
+		f, err := r.next()
+		if err != nil {
+			t.Fatalf("stream ended before drops frame: %v", err)
+		}
+		if f.Event == "drops" {
+			var rep struct {
+				Dropped uint64 `json:"dropped"`
+			}
+			if err := json.Unmarshal([]byte(f.Data), &rep); err != nil || rep.Dropped == 0 {
+				t.Fatalf("drops frame = %s (err %v)", f.Data, err)
+			}
+			sawDrops = true
+		}
+	}
+	if !sawDrops {
+		t.Fatal("no in-band drops frame after forced overflow")
+	}
+}

@@ -16,6 +16,14 @@
 //     acquisition out of its branch, and function literals start empty
 //     (they usually run later, on another goroutine's lockset).
 //
+//     One interprocedural convention is honored: a method whose name ends
+//     in "Locked" is analyzed as if every sync.Mutex/RWMutex field of its
+//     receiver were already held. The suffix is a contract — the caller
+//     acquired the lock — and the guarded-field check trusts it rather
+//     than forcing such helpers to be inlined or annotated line by line.
+//     The contract's caller side is not verified; the suffix itself is the
+//     audit trail.
+//
 //  2. Publish under lock. Bus deliveries run handlers synchronously, so
 //     publishing with a mutex held hands every handler the lock's
 //     critical section — re-entry deadlocks at worst, surprise lock-order
@@ -96,7 +104,7 @@ func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				a.block(fd.Body.List, make(lockset))
+				a.block(fd.Body.List, a.initialLockset(fd))
 			}
 		}
 		// Function literals run on their caller's (often another
@@ -196,6 +204,55 @@ func (ls lockset) one() string {
 type lockAnalyzer struct {
 	pass    *analysis.Pass
 	guarded map[types.Object]string
+}
+
+// initialLockset seeds a function body's lockset. Methods following the
+// *Locked naming convention start with every sync mutex field of their
+// receiver held — the suffix asserts the caller acquired them.
+func (a *lockAnalyzer) initialLockset(fd *ast.FuncDecl) lockset {
+	held := make(lockset)
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return held
+	}
+	recv := fd.Recv.List[0]
+	if len(recv.Names) == 0 {
+		return held
+	}
+	obj := a.pass.TypesInfo.Defs[recv.Names[0]]
+	if obj == nil {
+		return held
+	}
+	st := receiverStruct(obj.Type())
+	if st == nil {
+		return held
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); isSyncLock(f.Type()) {
+			held[recv.Names[0].Name+"."+f.Name()] = true
+		}
+	}
+	return held
+}
+
+// receiverStruct resolves a method receiver type (possibly a pointer) to
+// its struct definition.
+func receiverStruct(t types.Type) *types.Struct {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, _ := t.Underlying().(*types.Struct)
+	return st
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
 }
 
 // block walks a statement list sequentially, threading the lockset through

@@ -103,6 +103,26 @@ func allowedHandler(b *bus.Bus, s *server) {
 	})
 }
 
+// The *Locked suffix asserts the caller holds the receiver's mutexes, so
+// guarded fields are accessible without a lexical Lock.
+func (s *server) drainLocked() []string {
+	out := s.events
+	s.events = nil
+	return out
+}
+
+// The contract covers the receiver only — other instances still need their
+// own locks — and publish-under-lock still applies to the held set.
+func (s *server) crossLocked(t *server, ev string) {
+	t.events = nil         // want `accessed without holding t\.mu`
+	s.b.Publish("evt", ev) // want `Bus\.Publish called while s\.mu is held`
+}
+
+// A bare "Locked" helper without a receiver gets no free lockset.
+func notAMethodLocked(s *server) {
+	s.events = nil // want `accessed without holding s\.mu`
+}
+
 type typo struct {
 	mu sync.Mutex
 	//selfmaint:guardedby mux
